@@ -1,0 +1,35 @@
+"""Ablation: Smax fixed-point refinement in the Trajectory analyzer.
+
+The arrival-jitter terms ``A_ij`` use upper bounds on upstream delays
+(``Smax``).  The analyzer seeds them from Network Calculus and then
+tightens them with trajectory prefix bounds; this bench quantifies the
+tightening and its cost relative to the single-pass variant.
+"""
+
+import statistics
+
+from repro.experiments.runner import industrial_config
+from repro.trajectory.analyzer import TrajectoryAnalyzer
+
+
+def test_trajectory_fixpoint_ablation(benchmark, industrial_spec):
+    network = industrial_config(industrial_spec)
+
+    refined = benchmark.pedantic(
+        lambda: TrajectoryAnalyzer(network, refine_smax=True).analyze(),
+        rounds=1,
+        iterations=1,
+    )
+    single = TrajectoryAnalyzer(network, refine_smax=False).analyze()
+
+    improvements = [
+        100.0 * (single.paths[key].total_us - refined.paths[key].total_us)
+        / single.paths[key].total_us
+        for key in refined.paths
+    ]
+    assert min(improvements) >= -1e-6  # refinement never loosens
+    print(
+        f"\nfixpoint ablation: {refined.refinement_iterations} sweeps, "
+        f"mean tightening {statistics.mean(improvements):.3f}% "
+        f"(max {max(improvements):.2f}%)"
+    )

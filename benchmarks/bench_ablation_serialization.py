@@ -1,0 +1,39 @@
+"""Ablation: the three Trajectory serialization modes.
+
+Quantifies, on the industrial configuration, how far apart the sound
+('safe'), reconstructed ('windowed', default) and literal historical
+('paper') serialization credits land — the spread this library's
+simulation cross-check showed to matter for soundness.
+"""
+
+import statistics
+
+from repro.experiments.runner import industrial_config
+from repro.trajectory.analyzer import TrajectoryAnalyzer
+
+
+def test_serialization_mode_ablation(benchmark, industrial_spec):
+    network = industrial_config(industrial_spec)
+
+    windowed = benchmark.pedantic(
+        lambda: TrajectoryAnalyzer(network, serialization="windowed").analyze(),
+        rounds=1,
+        iterations=1,
+    )
+    safe = TrajectoryAnalyzer(network, serialization="safe").analyze()
+    paper = TrajectoryAnalyzer(network, serialization="paper").analyze()
+
+    def mean_bound(result):
+        return statistics.mean(p.total_us for p in result.paths.values())
+
+    safe_mean, windowed_mean, paper_mean = (
+        mean_bound(safe),
+        mean_bound(windowed),
+        mean_bound(paper),
+    )
+    assert paper_mean <= windowed_mean <= safe_mean
+    print(
+        f"\nserialization ablation (mean bound, us): "
+        f"safe {safe_mean:.1f} >= windowed {windowed_mean:.1f} "
+        f">= paper {paper_mean:.1f}"
+    )

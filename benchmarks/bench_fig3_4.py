@@ -1,0 +1,10 @@
+"""Figs. 3-4 — the worked Trajectory scenario on the Fig. 2 network."""
+
+from repro.experiments.fig3_4 import run_fig3_4
+
+
+def test_fig3_4_worked_scenario(benchmark, persist):
+    result = benchmark(run_fig3_4)
+    v1 = next(row for row in result.rows if row[0] == "v1")
+    assert v1[3] == 40.0  # the one-frame serialization gain
+    persist(result)

@@ -1,0 +1,18 @@
+"""Fig. 5 — mean Trajectory benefit per BAG value.
+
+The per-path bounds are shared with the Table I run (cached), so this
+times the per-BAG aggregation plus the (amortized) analysis.
+"""
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_benefit_by_bag(benchmark, industrial_spec, persist):
+    result = benchmark.pedantic(
+        lambda: run_fig5(spec=industrial_spec), rounds=1, iterations=1
+    )
+    assert result.rows, "no BAG buckets produced"
+    if industrial_spec.n_virtual_links >= 1000:
+        # paper shape (emerges at scale): positive benefit per BAG class
+        assert all(row[1] > 0 for row in result.rows)
+    persist(result)

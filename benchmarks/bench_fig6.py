@@ -1,0 +1,15 @@
+"""Fig. 6 — share of VL paths where WCNC beats the Trajectory approach."""
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_wcnc_wins_by_smax(benchmark, industrial_spec, persist):
+    result = benchmark.pedantic(
+        lambda: run_fig6(spec=industrial_spec), rounds=1, iterations=1
+    )
+    shares = [row[1] for row in result.rows]
+    assert all(0.0 <= s <= 100.0 for s in shares)
+    if industrial_spec.n_virtual_links >= 1000:
+        # paper shape: the large-frame end of the axis belongs to Trajectory
+        assert shares[-1] == 0.0
+    persist(result)

@@ -1,0 +1,10 @@
+"""Fig. 7 — s_max sweep of v1 on the sample configuration."""
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_smax_sweep(benchmark, persist):
+    result = benchmark(run_fig7)
+    diffs = [row[3] for row in result.rows]
+    assert diffs[0] < 0 < diffs[-1]  # WCNC wins small frames, loses large
+    persist(result)

@@ -1,0 +1,12 @@
+"""Fig. 8 — BAG sweep of v1 on the sample configuration."""
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_bag_sweep(benchmark, persist):
+    result = benchmark(run_fig8)
+    trajectories = [row[1] for row in result.rows]
+    ncs = [row[2] for row in result.rows]
+    assert max(trajectories) - min(trajectories) < 1e-9  # Trajectory flat
+    assert ncs == sorted(ncs, reverse=True)  # WCNC decreasing in BAG
+    persist(result)

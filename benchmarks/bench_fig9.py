@@ -1,0 +1,11 @@
+"""Fig. 9 — (BAG x s_max) bound-difference surface for v1."""
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_surface(benchmark, persist):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    cells = [cell for row in result.rows for cell in row[1:]]
+    assert any(c < 0 for c in cells)  # WCNC wins somewhere (small frames)
+    assert any(c > 0 for c in cells)  # Trajectory wins somewhere
+    persist(result)

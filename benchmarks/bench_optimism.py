@@ -1,0 +1,11 @@
+"""The serialization-optimism finding as a reproducible bench."""
+
+from repro.experiments.optimism import run_optimism
+
+
+def test_optimism_finding(benchmark, persist):
+    result = benchmark.pedantic(run_optimism, rounds=1, iterations=1)
+    verdicts = {row[0]: row[3] for row in result.rows}
+    assert verdicts["paper"] == "VIOLATED"
+    assert verdicts["safe"] == "holds"
+    persist(result)

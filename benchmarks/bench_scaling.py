@@ -1,0 +1,39 @@
+"""Scaling of both analyses with configuration size.
+
+Times the two analyzers on industrial configurations of growing VL
+count — the practical question for a certification tool ("can it turn
+around an A380-class configuration interactively?").
+"""
+
+import pytest
+
+from repro.configs.industrial import IndustrialConfigSpec, industrial_network
+from repro.netcalc.analyzer import NetworkCalculusAnalyzer
+from repro.trajectory.analyzer import TrajectoryAnalyzer
+
+SIZES = [100, 300, 1000]
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {
+        n: industrial_network(IndustrialConfigSpec(n_virtual_links=n)) for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("n_vls", SIZES)
+def test_netcalc_scaling(benchmark, networks, n_vls):
+    network = networks[n_vls]
+    result = benchmark.pedantic(
+        lambda: NetworkCalculusAnalyzer(network).analyze(), rounds=1, iterations=1
+    )
+    assert len(result.paths) == len(network.flow_paths())
+
+
+@pytest.mark.parametrize("n_vls", SIZES)
+def test_trajectory_scaling(benchmark, networks, n_vls):
+    network = networks[n_vls]
+    result = benchmark.pedantic(
+        lambda: TrajectoryAnalyzer(network).analyze(), rounds=1, iterations=1
+    )
+    assert len(result.paths) == len(network.flow_paths())

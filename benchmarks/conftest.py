@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Every paper artefact gets one benchmark that (a) times the computation
+and (b) writes the regenerated table to ``benchmarks/results/<id>.txt``
+so the numbers can be inspected and diffed against EXPERIMENTS.md.
+
+Scale: by default the industrial-configuration benches run the **full
+published scale** (~1000 VLs / >6000 paths; the dual analysis takes
+tens of seconds and is timed with a single round).  Set
+``AFDX_BENCH_VLS=<n>`` to shrink the configuration for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.configs.industrial import IndustrialConfigSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def industrial_spec() -> IndustrialConfigSpec:
+    """Industrial spec honoring the AFDX_BENCH_VLS override."""
+    n_vls = int(os.environ.get("AFDX_BENCH_VLS", "1000"))
+    return IndustrialConfigSpec(n_virtual_links=n_vls)
+
+
+@pytest.fixture(scope="session")
+def persist():
+    """Write an ExperimentResult's rendering to benchmarks/results/."""
+
+    def write(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n")
+        return result
+
+    return write

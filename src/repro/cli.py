@@ -1,0 +1,253 @@
+"""Command-line interface: ``afdx`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+
+``afdx analyze CONFIG.json``
+    Compute WCNC / Trajectory / combined bounds for every VL path of a
+    configuration file and print them with aggregate statistics.
+``afdx validate CONFIG.json``
+    Run the ARINC-664 configuration checks and print the report.
+``afdx generate {fig1,fig2,industrial,random} -o CONFIG.json``
+    Write one of the bundled configurations to disk.
+``afdx simulate CONFIG.json``
+    Run the frame-level simulator and compare observed delays with the
+    analytic bounds.
+``afdx experiment {table1,fig3_4,fig5,fig6,fig7,fig8,fig9}``
+    Regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.configs import (
+    IndustrialConfigSpec,
+    fig1_network,
+    fig2_network,
+    industrial_network,
+    random_network,
+)
+from repro.core.comparison import compare_methods
+from repro.core.jitter import jitter_bounds
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.netcalc.analyzer import analyze_network_calculus
+from repro.network.serialization import network_from_json, network_to_json
+from repro.network.validation import validate_network
+from repro.sim.scenarios import TrafficScenario, simulate
+from repro.trajectory.analyzer import analyze_trajectory
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``afdx`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="afdx",
+        description="Worst-case end-to-end delay analysis of AFDX networks "
+        "(Network Calculus + Trajectory approach, DATE 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="compute delay bounds for a configuration")
+    analyze.add_argument("config", help="configuration JSON file")
+    analyze.add_argument(
+        "--no-grouping", action="store_true", help="disable NC grouping"
+    )
+    analyze.add_argument(
+        "--serialization",
+        choices=["paper", "windowed", "safe"],
+        default="windowed",
+        help="Trajectory serialization mode (default: windowed)",
+    )
+    analyze.add_argument(
+        "--top", type=int, default=0, help="print only the N largest combined bounds"
+    )
+    analyze.add_argument(
+        "--jitter", action="store_true",
+        help="also print the per-path jitter bound (bound - uncontended floor)",
+    )
+
+    validate = sub.add_parser("validate", help="check a configuration")
+    validate.add_argument("config", help="configuration JSON file")
+
+    generate = sub.add_parser("generate", help="write a bundled configuration")
+    generate.add_argument(
+        "kind", choices=["fig1", "fig2", "industrial", "random"],
+        help="which configuration to generate",
+    )
+    generate.add_argument("-o", "--output", required=True, help="output JSON path")
+    generate.add_argument("--seed", type=int, default=2010, help="generator seed")
+    generate.add_argument(
+        "--vls", type=int, default=1000, help="VL count (industrial/random)"
+    )
+
+    simulate_cmd = sub.add_parser("simulate", help="simulate a configuration")
+    simulate_cmd.add_argument("config", help="configuration JSON file")
+    simulate_cmd.add_argument("--duration-ms", type=float, default=100.0)
+    simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.add_argument(
+        "--random-offsets",
+        action="store_true",
+        help="desynchronize VL first releases (default: synchronized)",
+    )
+
+    report = sub.add_parser("report", help="full certification-style report")
+    report.add_argument("config", help="configuration JSON file")
+    report.add_argument("-o", "--output", default=None, help="write to a file")
+    report.add_argument("--top", type=int, default=10, help="critical paths to detail")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    experiment.add_argument(
+        "--vls", type=int, default=None,
+        help="override the industrial configuration's VL count (faster runs)",
+    )
+    experiment.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also write the artefact as CSV",
+    )
+
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    network = network_from_json(args.config)
+    result = compare_methods(
+        network,
+        grouping=not args.no_grouping,
+        serialization=args.serialization,
+    )
+    jitters = jitter_bounds(network, result) if args.jitter else None
+    paths = result.path_list()
+    paths.sort(key=lambda p: -p.best_us)
+    if args.top:
+        paths = paths[: args.top]
+    header = f"{'VL path':<24}{'WCNC (us)':>12}{'Traj (us)':>12}{'best (us)':>12}"
+    if jitters is not None:
+        header += f"{'jitter (us)':>13}"
+    print(header)
+    for path in paths:
+        line = (
+            f"{path.flow:<24}{path.network_calculus_us:>12.1f}"
+            f"{path.trajectory_us:>12.1f}{path.best_us:>12.1f}"
+        )
+        if jitters is not None:
+            line += f"{jitters[(path.vl_name, path.path_index)].jitter_us:>13.1f}"
+        print(line)
+    print()
+    print(result.stats.as_table())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    network = network_from_json(args.config)
+    report = validate_network(network)
+    for error in report.errors:
+        print(f"ERROR: {error}")
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    worst = max(report.port_utilization.values(), default=0.0)
+    print(
+        f"{network!r}: {'OK' if report.ok else 'INVALID'} "
+        f"(max port utilization {worst:.3f})"
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "fig1":
+        network = fig1_network()
+    elif args.kind == "fig2":
+        network = fig2_network()
+    elif args.kind == "industrial":
+        network = industrial_network(
+            IndustrialConfigSpec(seed=args.seed, n_virtual_links=args.vls)
+        )
+    else:
+        network = random_network(args.seed, n_virtual_links=min(args.vls, 50))
+    network_to_json(network, args.output)
+    print(f"wrote {network!r} to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    network = network_from_json(args.config)
+    nc = analyze_network_calculus(network)
+    trajectory = analyze_trajectory(network, serialization="safe")
+    scenario = TrafficScenario(
+        duration_ms=args.duration_ms,
+        synchronized=not args.random_offsets,
+        seed=args.seed,
+    )
+    observed = simulate(network, scenario)
+    print(
+        f"{'VL path':<24}{'observed max':>14}{'Traj(safe)':>12}{'WCNC':>12}{'margin':>10}"
+    )
+    violations = 0
+    for key in sorted(observed.paths):
+        stats = observed.paths[key]
+        bound = min(trajectory.paths[key].total_us, nc.paths[key].total_us)
+        margin = bound - stats.max_us
+        violations += margin < -1e-6
+        print(
+            f"{key[0] + '[' + str(key[1]) + ']':<24}{stats.max_us:>14.1f}"
+            f"{trajectory.paths[key].total_us:>12.1f}"
+            f"{nc.paths[key].total_us:>12.1f}{margin:>10.1f}"
+        )
+    print(f"\n{observed.duration_us / 1000:.0f} ms simulated, {violations} bound violations")
+    return 1 if violations else 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.vls is not None and args.id in ("table1", "fig5", "fig6"):
+        kwargs["spec"] = IndustrialConfigSpec(n_virtual_links=args.vls)
+    result = run_experiment(args.id, **kwargs)
+    print(result.render())
+    if args.csv:
+        from pathlib import Path
+
+        Path(args.csv).write_text(result.to_csv())
+        print(f"(csv written to {args.csv})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.reporting import certification_report
+    from repro.netcalc.analyzer import analyze_network_calculus as _nc
+
+    network = network_from_json(args.config)
+    nc = _nc(network)
+    result = compare_methods(network)
+    text = certification_report(network, result, nc_result=nc, top_paths=args.top)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "validate": _cmd_validate,
+    "generate": _cmd_generate,
+    "simulate": _cmd_simulate,
+    "report": _cmd_report,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``afdx`` console script."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

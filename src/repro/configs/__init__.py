@@ -1,0 +1,28 @@
+"""Ready-made AFDX configurations.
+
+* :func:`fig2_network` — the paper's Figure 2 sample configuration,
+  used by the worked Trajectory scenario (Figs. 3-4) and by every
+  parameter-influence study (Figs. 7-9);
+* :func:`fig1_network` — a reconstruction of the paper's Figure 1
+  illustrative configuration (five switches, multicast VL);
+* :func:`industrial_network` — a seeded synthetic generator standing in
+  for the proprietary industrial configuration of Sec. II-C (~1000 VLs,
+  >6000 paths, 8-switch sub-network, >100 end systems);
+* :func:`random_network` — small random configurations for fuzz /
+  property testing.
+"""
+
+from repro.configs.fig1 import fig1_network
+from repro.configs.fig2 import FIG2_BAG_MS, FIG2_S_MAX_BYTES, fig2_network
+from repro.configs.industrial import IndustrialConfigSpec, industrial_network
+from repro.configs.random_topology import random_network
+
+__all__ = [
+    "fig1_network",
+    "fig2_network",
+    "FIG2_BAG_MS",
+    "FIG2_S_MAX_BYTES",
+    "industrial_network",
+    "IndustrialConfigSpec",
+    "random_network",
+]

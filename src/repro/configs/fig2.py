@@ -1,0 +1,75 @@
+r"""The paper's Figure 2 sample configuration.
+
+Five emitting end systems (e1..e5), two receiving end systems (e6, e7),
+three switches (S1..S3)::
+
+    e1 --\                      /-- e6
+          S1 --\               /
+    e2 --/      \             /
+                 S3 ----------
+    e3 --\      /             \
+          S2 --/               \-- e7
+    e4 --/
+    e5 --/
+
+VLs: v1: e1->e6, v2: e2->e6, v3: e3->e6, v4: e4->e6 (all via S3), and
+v5: e5->e7.  All VLs are identical: BAG = 4 ms (4000 us) and
+``s_max = 4000 bits`` (500 B); the network runs at 100 Mb/s with a
+16 us technological latency per switch output port (paper Sec. II-B).
+
+The paper's worked scenario computes the Trajectory worst case of v1 on
+this configuration: without serialization, frames of v3 and v4 are
+assumed to hit S3 simultaneously (Fig. 3 — impossible, they share the
+S2->S3 link); the enhanced analysis (Fig. 4) recovers exactly one frame
+time (40 us at these sizes).
+"""
+
+from __future__ import annotations
+
+from repro.network.builder import NetworkBuilder
+from repro.network.topology import Network
+
+__all__ = ["fig2_network", "FIG2_BAG_MS", "FIG2_S_MAX_BYTES"]
+
+#: BAG of every VL in the sample configuration (4000 us).
+FIG2_BAG_MS = 4.0
+
+#: Frame size of every VL (4000 bits = 500 bytes -> C = 40 us at 100 Mb/s).
+FIG2_S_MAX_BYTES = 500.0
+
+
+def fig2_network(
+    bag_ms: float = FIG2_BAG_MS, s_max_bytes: float = FIG2_S_MAX_BYTES
+) -> Network:
+    """Build the Figure 2 sample configuration.
+
+    Parameters let the parameter-influence experiments rebuild the
+    network with uniform alternative values; the per-VL sweeps of
+    Figs. 7-9 instead use :meth:`Network.replace_virtual_link` on v1.
+    """
+    builder = (
+        NetworkBuilder(name="fig2", switch_latency_us=16.0)
+        .switches("S1", "S2", "S3")
+        .end_systems("e1", "e2", "e3", "e4", "e5", "e6", "e7")
+        .link("e1", "S1")
+        .link("e2", "S1")
+        .link("e3", "S2")
+        .link("e4", "S2")
+        .link("e5", "S2")
+        .link("S1", "S3")
+        .link("S2", "S3")
+        .link("S3", "e6")
+        .link("S3", "e7")
+    )
+    sources = {"v1": "e1", "v2": "e2", "v3": "e3", "v4": "e4", "v5": "e5"}
+    for name, source in sources.items():
+        destination = "e7" if name == "v5" else "e6"
+        builder.virtual_link(
+            name,
+            source=source,
+            destinations=[destination],
+            bag_ms=bag_ms,
+            s_max_bytes=s_max_bytes,
+            s_min_bytes=s_max_bytes,  # the paper's flows have fixed-size frames
+        )
+    return builder.build()

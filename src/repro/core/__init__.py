@@ -1,0 +1,42 @@
+"""Combined analysis and method comparison.
+
+The paper's headline recommendation (Sec. IV) is the **combined
+approach**: run both Network Calculus and the Trajectory approach and
+keep, for every VL path, the tighter of the two bounds — never worse
+than either method alone.  This package implements that combination and
+the comparison statistics of the paper's evaluation (Table I and the
+per-parameter aggregations behind Figs. 5 and 6).
+
+Entry points:
+
+* :func:`analyze_network` — run both methods on a configuration and
+  return per-path NC / Trajectory / best bounds;
+* :func:`compare_methods` — the same plus aggregate benefit statistics.
+"""
+
+from repro.core.combined import analyze_network, build_comparison
+from repro.core.comparison import (
+    benefit_percent,
+    compare_methods,
+    group_mean_benefit,
+    summarize,
+)
+from repro.core.jitter import JitterBound, jitter_bounds, path_floor_us
+from repro.core.reporting import certification_report
+from repro.core.results import AnalysisResult, ComparisonStats, PathComparison
+
+__all__ = [
+    "analyze_network",
+    "build_comparison",
+    "compare_methods",
+    "benefit_percent",
+    "summarize",
+    "group_mean_benefit",
+    "jitter_bounds",
+    "path_floor_us",
+    "JitterBound",
+    "certification_report",
+    "AnalysisResult",
+    "ComparisonStats",
+    "PathComparison",
+]

@@ -1,0 +1,82 @@
+"""End-to-end jitter bounds.
+
+The paper's problem statement (Sec. I) asks for upper bounds on the
+*end-to-end delay and jitter* of each flow.  With a worst-case upper
+bound ``D_max`` from the analyses and the uncontended store-and-forward
+minimum ``D_min`` (minimum-size frames, empty queues, bare technological
+latencies), the delivery jitter of a VL path is bounded by
+``D_max - D_min`` — the figure receivers use to size de-jittering
+buffers and the RM skew windows of redundant networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.results import AnalysisResult
+from repro.network.topology import Network
+
+__all__ = ["JitterBound", "path_floor_us", "jitter_bounds"]
+
+FlowPathKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class JitterBound:
+    """Delay window of one VL path.
+
+    Attributes
+    ----------
+    floor_us:
+        Best-case end-to-end delay (uncontended, minimum-size frames).
+    bound_us:
+        Worst-case upper bound used (the combined bound by default).
+    """
+
+    vl_name: str
+    path_index: int
+    floor_us: float
+    bound_us: float
+
+    @property
+    def jitter_us(self) -> float:
+        """Upper bound on the delivery jitter (``bound - floor``)."""
+        return self.bound_us - self.floor_us
+
+
+def path_floor_us(network: Network, vl_name: str, path_index: int = 0) -> float:
+    """Uncontended minimum delay of a VL path.
+
+    Minimum-size frames transmitted back-to-back with no queueing:
+    one transmission per output port plus each owner's technological
+    latency.  This is also the delay floor any simulation can reach,
+    asserted by the test suite.
+    """
+    vl = network.vl(vl_name)
+    total = 0.0
+    for pid in network.port_path(vl_name, path_index):
+        total += vl.s_min_bits / network.link_rate(*pid)
+        total += network.node(pid[0]).technological_latency_us
+    return total
+
+
+def jitter_bounds(
+    network: Network, result: AnalysisResult
+) -> Dict[FlowPathKey, JitterBound]:
+    """Jitter bound of every VL path from a combined analysis result."""
+    out: Dict[FlowPathKey, JitterBound] = {}
+    for key, path in result.paths.items():
+        floor = path_floor_us(network, path.vl_name, path.path_index)
+        if path.best_us < floor - 1e-6:
+            raise ValueError(
+                f"bound {path.best_us} below the physical floor {floor} "
+                f"for {path.flow}: inconsistent inputs"
+            )
+        out[key] = JitterBound(
+            vl_name=path.vl_name,
+            path_index=path.path_index,
+            floor_us=floor,
+            bound_us=path.best_us,
+        )
+    return out

@@ -1,0 +1,43 @@
+"""Min-plus (network calculus) curve algebra.
+
+This package implements the small fragment of min-plus calculus needed
+for deterministic AFDX delay analysis:
+
+* :class:`PiecewiseCurve` — wide-sense increasing piecewise-linear
+  curves, the common representation for arrival and service curves;
+* :class:`LeakyBucket` — affine arrival curves ``b + r t`` (ARINC-664
+  traffic contracts: burst ``s_max``, rate ``s_max / BAG``);
+* :class:`RateLatency` — service curves ``R (t - T)+`` (output port at
+  link rate ``R`` with technological latency ``T``);
+* the operations of :mod:`repro.curves.operations` — sum, pointwise
+  minimum, min-plus convolution of service curves, deconvolution,
+  horizontal deviation (delay bound) and vertical deviation (backlog
+  bound).
+
+All times are microseconds and all data quantities bits, per
+:mod:`repro.units`.
+"""
+
+from repro.curves.piecewise import PiecewiseCurve
+from repro.curves.leaky_bucket import LeakyBucket
+from repro.curves.rate_latency import RateLatency
+from repro.curves.operations import (
+    add_curves,
+    deconvolve,
+    horizontal_deviation,
+    min_curves,
+    sum_curves,
+    vertical_deviation,
+)
+
+__all__ = [
+    "PiecewiseCurve",
+    "LeakyBucket",
+    "RateLatency",
+    "add_curves",
+    "sum_curves",
+    "min_curves",
+    "horizontal_deviation",
+    "vertical_deviation",
+    "deconvolve",
+]

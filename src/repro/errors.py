@@ -1,0 +1,73 @@
+"""Exception hierarchy for the AFDX delay-analysis library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class.  Configuration problems (bad wiring, duplicate
+names, ARINC-664 constraint violations) raise
+:class:`ConfigurationError` subclasses *at construction time*; analysis
+failures (unstable networks, cyclic routing) raise
+:class:`AnalysisError` subclasses when an analyzer runs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DuplicateNameError",
+    "UnknownNodeError",
+    "InvalidTopologyError",
+    "InvalidVirtualLinkError",
+    "AnalysisError",
+    "CyclicRoutingError",
+    "UnstableNetworkError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A network configuration violates a structural or ARINC-664 rule."""
+
+
+class DuplicateNameError(ConfigurationError):
+    """Two network elements were registered under the same name."""
+
+
+class UnknownNodeError(ConfigurationError):
+    """A name referenced in a link, route or query does not exist."""
+
+
+class InvalidTopologyError(ConfigurationError):
+    """Physical wiring breaks an AFDX rule (e.g. two links on one ES port)."""
+
+
+class InvalidVirtualLinkError(ConfigurationError):
+    """A Virtual Link definition is malformed (bad BAG, path, sizes...)."""
+
+
+class AnalysisError(ReproError):
+    """Base class for failures of a worst-case analysis run."""
+
+
+class CyclicRoutingError(AnalysisError):
+    """VL routing induces a cycle in the output-port graph.
+
+    Both the Network Calculus feed-forward propagation and the Trajectory
+    fixed point require an acyclic port graph; ARINC-664 configurations
+    are engineered to satisfy this.
+    """
+
+
+class UnstableNetworkError(AnalysisError):
+    """Some output port has long-term utilization >= 1.
+
+    No finite worst-case delay bound exists in that case; the
+    configuration would also fail AFDX admission control.
+    """
+
+
+class ConvergenceError(AnalysisError):
+    """An iterative fixed point failed to converge within its budget."""

@@ -1,0 +1,50 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module reproduces one artefact of the paper's evaluation:
+
+========  ==========================================================
+``table1``  Table I — benefit statistics on the industrial config
+``fig3_4``  Sec. II-B worked scenario — enhanced vs plain Trajectory
+``fig5``    Fig. 5 — mean Trajectory benefit per BAG value
+``fig6``    Fig. 6 — share of paths where WCNC beats Trajectory, per s_max
+``fig7``    Fig. 7 — bounds for v1 as its s_max sweeps 100..1500 B
+``fig8``    Fig. 8 — bounds for v1 as its BAG sweeps 1..128 ms
+``fig9``    Fig. 9 — (WCNC - Trajectory) surface over (BAG, s_max)
+``optimism``  (beyond the paper) serialization-credit soundness check
+========  ==========================================================
+
+Every driver returns an :class:`~repro.experiments.runner.ExperimentResult`
+whose ``render()`` prints the same rows/series the paper reports;
+``benchmarks/`` wraps each one in a pytest-benchmark target, and the CLI
+exposes them as ``afdx experiment <id>``.
+"""
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig3_4 import run_fig3_4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.optimism import run_optimism
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "run_experiment",
+    "run_table1",
+    "run_fig3_4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_optimism",
+]

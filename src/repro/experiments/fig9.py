@@ -1,0 +1,49 @@
+"""Fig. 9 — combined influence of BAG and ``s_max`` on v1's bounds.
+
+The paper's 3-D surface plots, for every (BAG, s_max) combination of
+v1 on the Fig. 2 sample configuration, the difference in microseconds
+between the Network Calculus and the Trajectory upper bounds — positive
+where the Trajectory bound is tighter, negative where Network Calculus
+wins.  Expected sign structure: negative only for small ``s_max``
+(where the counted-twice term dominates), increasingly positive for
+large frames and short BAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.sweeps import DEFAULT_BAG_SWEEP_MS, bounds_for_v1
+
+__all__ = ["run_fig9"]
+
+_DEFAULT_S_MAX_GRID = (100.0, 300.0, 500.0, 700.0, 900.0, 1100.0, 1300.0, 1500.0)
+
+
+@register("fig9")
+def run_fig9(
+    bag_values: Sequence[float] = DEFAULT_BAG_SWEEP_MS,
+    s_max_values: Sequence[float] = _DEFAULT_S_MAX_GRID,
+) -> ExperimentResult:
+    """(WCNC - Trajectory) in us over the (BAG, s_max) grid for v1."""
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="WCNC - Trajectory bound difference (us) over (BAG, s_max) for v1",
+        headers=("BAG (ms) \\ s_max (B)", *(f"{s:.0f}" for s in s_max_values)),
+    )
+    negatives = 0
+    for bag in bag_values:
+        row = [f"{bag:g}"]
+        for s_max in s_max_values:
+            nc, trajectory = bounds_for_v1(s_max_bytes=s_max, bag_ms=bag)
+            diff = nc - trajectory
+            negatives += diff < 0
+            row.append(round(diff, 1))
+        result.rows.append(tuple(row))
+    result.notes = [
+        "positive cells: Trajectory tighter; negative cells: WCNC tighter",
+        f"{negatives} negative cells, expected only at small s_max "
+        "(paper: same sign structure)",
+    ]
+    return result

@@ -1,0 +1,67 @@
+"""The serialization-optimism finding (beyond the paper).
+
+Cross-checking every bound against the frame-level simulator, this
+reproduction found that the literal per-group reading of the paper's
+serialization enhancement can undershoot the true worst case — a result
+consistent with the later literature on the FIFO trajectory approach
+(Kemayo et al.).  This driver packages the finding as a reproducible
+experiment: on the two-source funnel configuration it reports, for the
+worst flow, the bound of each serialization mode against the largest
+delay actually *observed* in simulation.
+
+Expected output: the ``safe`` bound equals the observed worst case
+(456 us — the plain analysis is exact here) while the ``paper`` credit
+claims less than what the simulator achieves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult, register
+from repro.network.builder import NetworkBuilder
+from repro.sim.scenarios import TrafficScenario, simulate
+from repro.trajectory.analyzer import analyze_trajectory
+
+__all__ = ["optimism_network", "run_optimism"]
+
+
+def optimism_network():
+    """Two source ES with five identical VLs each, one switch, one sink."""
+    builder = NetworkBuilder("optimism").switches("SW").end_systems("a", "b", "d")
+    builder.link("a", "SW").link("b", "SW").link("SW", "d")
+    for index in range(5):
+        for source in ("a", "b"):
+            builder.virtual_link(
+                f"v{source}{index}",
+                source=source,
+                destinations=["d"],
+                bag_ms=4,
+                s_max_bytes=500,
+                s_min_bytes=500,
+            )
+    return builder.build()
+
+
+@register("optimism")
+def run_optimism(duration_ms: float = 40.0) -> ExperimentResult:
+    """Demonstrate the historical serialization credit's optimism."""
+    network = optimism_network()
+    observed = simulate(network, TrafficScenario(duration_ms=duration_ms))
+    worst = observed.worst_observed()
+    key = (worst.vl_name, worst.path_index)
+
+    result = ExperimentResult(
+        experiment_id="optimism",
+        title="serialization credit soundness check (finding beyond the paper)",
+        headers=("mode", "bound (us)", "observed max (us)", "verdict"),
+    )
+    for mode in ("paper", "windowed", "safe"):
+        bound = analyze_trajectory(network, serialization=mode).paths[key].total_us
+        verdict = "VIOLATED" if worst.max_us > bound + 1e-6 else "holds"
+        result.rows.append((mode, bound, worst.max_us, verdict))
+    result.notes = [
+        f"worst observed flow: {worst.vl_name} "
+        f"(synchronized saturated scenario, {duration_ms:g} ms)",
+        "the per-group 'paper' credit undershoots the reachable worst case; "
+        "the plain 'safe' analysis is exact on this configuration",
+    ]
+    return result

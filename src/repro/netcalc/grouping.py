@@ -1,0 +1,94 @@
+"""The grouping (serialization) technique of the Network Calculus tool.
+
+Paper, Sec. II-B: *"the worst-case incoming traffic in a switch output
+port is divided and grouped by flows coming from the same source (i.e.
+transmission link).  Each group is shaped by a leaky bucket with a burst
+equal to the largest frame size and a rate equal to the rate of the
+source."*
+
+Frames of flows that share an upstream link are physically serialized
+on that link, so the aggregate they present to the next port can never
+exceed the link's own shaping curve — the leaky bucket
+``(max frame of the group, link rate)``.  Taking the pointwise minimum
+of the group members' summed curves and the link shaping curve tightens
+the aggregate (historically ~40 % on industrial configurations, per the
+paper's 10 % figure being *on top of* an already-grouped NC baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.curves import LeakyBucket, PiecewiseCurve, min_curves, sum_curves
+from repro.network.port import PortId
+from repro.network.topology import Network
+
+__all__ = ["GroupKey", "arrival_groups", "group_arrival_curve", "port_aggregate_curve"]
+
+#: Flows are grouped by the upstream port they arrive through;
+#: locally-sourced flows (at their ES output port) are ungrouped and use
+#: a per-flow key ``("source", vl_name)``.
+GroupKey = Tuple[str, str]
+
+
+def arrival_groups(network: Network, port_id: PortId) -> Dict[GroupKey, FrozenSet[str]]:
+    """Partition the VLs crossing ``port_id`` by arrival link.
+
+    Returns a mapping from group key to the VL names of the group.
+    Flows whose source end system owns the port get singleton groups
+    (nothing upstream constrains them jointly).
+    """
+    groups: Dict[GroupKey, set] = {}
+    for vl_name in network.vls_at_port(port_id):
+        upstream = network.upstream_port(vl_name, port_id)
+        key: GroupKey = upstream if upstream is not None else ("source", vl_name)
+        groups.setdefault(key, set()).add(vl_name)
+    return {key: frozenset(members) for key, members in groups.items()}
+
+
+def group_arrival_curve(
+    network: Network,
+    key: GroupKey,
+    members: Iterable[str],
+    buckets: Mapping[str, LeakyBucket],
+    grouping: bool,
+) -> PiecewiseCurve:
+    """Arrival curve of one input-link group at a port.
+
+    Parameters
+    ----------
+    key:
+        The group key from :func:`arrival_groups` — an upstream port id,
+        or ``("source", vl)`` for a locally-sourced flow.
+    members:
+        VL names in the group.
+    buckets:
+        Current leaky bucket of each member *at this port*.
+    grouping:
+        When False, or when the group is locally sourced, the curve is
+        the plain sum of the members; otherwise it is capped by the
+        upstream link's shaping curve.
+    """
+    member_list = sorted(members)
+    summed = sum_curves(buckets[name].curve() for name in member_list)
+    if not grouping or key[0] == "source":
+        return summed
+    link_rate = network.link_rate(*key)
+    biggest_frame = max(network.vl(name).s_max_bits for name in member_list)
+    shaping = PiecewiseCurve.affine(link_rate, biggest_frame)
+    return min_curves(summed, shaping)
+
+
+def port_aggregate_curve(
+    network: Network,
+    port_id: PortId,
+    buckets: Mapping[str, LeakyBucket],
+    grouping: bool,
+) -> Tuple[PiecewiseCurve, int]:
+    """Aggregate arrival curve at a port and the number of groups used."""
+    groups = arrival_groups(network, port_id)
+    curves: List[PiecewiseCurve] = [
+        group_arrival_curve(network, key, members, buckets, grouping)
+        for key, members in sorted(groups.items())
+    ]
+    return sum_curves(curves), len(groups)

@@ -1,0 +1,46 @@
+"""AFDX (ARINC 664 part 7) network model.
+
+The model mirrors the entities of the paper's Section II-A:
+
+* :class:`EndSystem` / :class:`Switch` — the nodes.  End systems are the
+  network's only traffic sources and sinks; switches store-and-forward
+  through FIFO output buffers after a bounded *technological latency*.
+* physical full-duplex links (switch-switch or switch-ES), registered on
+  the :class:`Network`;
+* :class:`OutputPort` — the unit of contention: one FIFO queue per
+  directed link, served at the link rate.  Worst-case analyses operate
+  on sequences of output ports;
+* :class:`VirtualLink` — the ARINC-664 traffic contract: a statically
+  routed, mono-transmitter, possibly multicast flow with a Bandwidth
+  Allocation Gap (BAG) and bounded frame sizes;
+* :class:`Network` — the container tying everything together, with
+  validation (:mod:`repro.network.validation`), static shortest-path
+  routing helpers (:mod:`repro.network.routing`) and JSON persistence
+  (:mod:`repro.network.serialization`).
+"""
+
+from repro.network.node import EndSystem, Node, Switch
+from repro.network.port import OutputPort, PortId
+from repro.network.virtual_link import VirtualLink
+from repro.network.topology import Network
+from repro.network.builder import NetworkBuilder
+from repro.network.redundancy import RedundantBound, combine_redundant, duplicate_network
+from repro.network.serialization import network_from_dict, network_from_json, network_to_dict, network_to_json
+
+__all__ = [
+    "Node",
+    "EndSystem",
+    "Switch",
+    "OutputPort",
+    "PortId",
+    "VirtualLink",
+    "Network",
+    "NetworkBuilder",
+    "RedundantBound",
+    "duplicate_network",
+    "combine_redundant",
+    "network_to_dict",
+    "network_from_dict",
+    "network_to_json",
+    "network_from_json",
+]

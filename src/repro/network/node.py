@@ -1,0 +1,70 @@
+"""Network nodes: end systems and switches.
+
+AFDX distinguishes exactly two node kinds:
+
+* **end systems** (ES) — avionics computers; each is connected to
+  exactly one switch port and is the sole emitter of the Virtual Links
+  it sources (the *mono-transmitter* assumption);
+* **switches** — store-and-forward elements with no input buffering and
+  one FIFO buffer per output port, traversed in a bounded
+  *technological latency* (16 us for the switches the paper considers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Node", "EndSystem", "Switch", "DEFAULT_SWITCH_LATENCY_US"]
+
+#: Technological latency of the AFDX switches used in the paper (Sec. II-B).
+DEFAULT_SWITCH_LATENCY_US = 16.0
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for network nodes.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a :class:`repro.network.Network`.
+    technological_latency_us:
+        Fixed worst-case latency a frame incurs inside this node before
+        reaching the output FIFO (0 for end systems by convention — the
+        ES shaping delay is modelled by the analysis itself).
+    """
+
+    name: str
+    technological_latency_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be a non-empty string")
+        if self.technological_latency_us < 0:
+            raise ValueError(
+                f"technological latency must be >= 0, got {self.technological_latency_us}"
+            )
+
+    @property
+    def is_end_system(self) -> bool:
+        """True for end systems (traffic sources/sinks)."""
+        return isinstance(self, EndSystem)
+
+    @property
+    def is_switch(self) -> bool:
+        """True for switches."""
+        return isinstance(self, Switch)
+
+
+@dataclass(frozen=True)
+class EndSystem(Node):
+    """An avionics end system (source/sink of Virtual Links)."""
+
+    technological_latency_us: float = 0.0
+
+
+@dataclass(frozen=True)
+class Switch(Node):
+    """An AFDX switch (FIFO output buffering, bounded fabric latency)."""
+
+    technological_latency_us: float = field(default=DEFAULT_SWITCH_LATENCY_US)

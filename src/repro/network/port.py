@@ -1,0 +1,61 @@
+"""Output ports — the unit of contention in an AFDX network.
+
+A full-duplex link between nodes ``a`` and ``b`` carries two independent
+directed channels.  Each directed channel is fed by exactly one FIFO
+buffer in its upstream node: the **output port** ``(a -> b)``.  Since
+links are full duplex there are no collisions (paper Sec. I); all
+queueing happens in output ports, which is why both worst-case analyses
+are formulated over sequences of output ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["PortId", "OutputPort"]
+
+#: An output port is identified by ``(owner_node_name, next_node_name)``.
+PortId = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class OutputPort:
+    """One directed FIFO-served channel of a full-duplex link.
+
+    Attributes
+    ----------
+    owner:
+        Name of the node whose buffer this is (the transmitter).
+    target:
+        Name of the downstream node.
+    rate_bits_per_us:
+        Link transmission rate (100 bits/us for 100 Mb/s AFDX).
+    latency_us:
+        Worst-case technological latency of the *owner* node — the dead
+        time a frame spends between arriving at the owner and becoming
+        ready in this FIFO.
+    """
+
+    owner: str
+    target: str
+    rate_bits_per_us: float
+    latency_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bits_per_us <= 0:
+            raise ValueError(f"port rate must be positive, got {self.rate_bits_per_us}")
+        if self.latency_us < 0:
+            raise ValueError(f"port latency must be >= 0, got {self.latency_us}")
+
+    @property
+    def port_id(self) -> PortId:
+        """The ``(owner, target)`` identifier of this port."""
+        return (self.owner, self.target)
+
+    def transmission_time_us(self, frame_bits: float) -> float:
+        """Time to clock a frame of ``frame_bits`` onto the link."""
+        return frame_bits / self.rate_bits_per_us
+
+    def __str__(self) -> str:
+        return f"{self.owner}->{self.target}"

@@ -1,0 +1,156 @@
+"""ARINC-664 dual-network redundancy.
+
+The paper's industrial configuration contains *"two redundant AFDX
+sub-networks"*: every frame is transmitted simultaneously on networks A
+and B (through independent switch fabrics), and the receiving end
+system's Redundancy Management (RM) delivers the first valid copy and
+discards the second within a skew window.
+
+This module builds the network-B twin of a configuration (same end
+systems and Virtual Links, duplicated switches and links) and combines
+per-network worst-case results into the three bounds the integration
+engineer needs:
+
+* ``first_copy_us`` — worst case of the *delivered* (first) copy:
+  ``min`` of the two per-network bounds (sound because whichever copy
+  arrives first is no later than either network's worst case);
+* ``any_copy_us`` — worst case assuming one network may be lost:
+  ``max`` of the two bounds (the certification figure);
+* ``skew_us`` — largest possible arrival gap between the two copies,
+  used to size the RM window:
+  ``max(bound_A - floor_B, bound_B - floor_A)`` where ``floor_X`` is
+  the uncontended store-and-forward minimum on network X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.network.node import EndSystem, Switch
+from repro.network.topology import Network
+from repro.network.virtual_link import VirtualLink
+
+__all__ = ["RedundantBound", "duplicate_network", "combine_redundant"]
+
+FlowPathKey = Tuple[str, int]
+
+
+def _rename(path: Tuple[str, ...], suffix: str) -> Tuple[str, ...]:
+    """Suffix the switch hops of a path, keeping the end systems."""
+    return (path[0], *(f"{hop}{suffix}" for hop in path[1:-1]), path[-1])
+
+
+def duplicate_network(network: Network, suffix: str = "_B") -> Network:
+    """Build the redundant twin: same ES and VLs, duplicated fabric.
+
+    Every switch ``S`` becomes ``S<suffix>``; end systems keep their
+    names (a real ES has one port per network); every VL is re-routed
+    over the renamed switches with identical hop sequences.
+    """
+    twin = Network(rate_bits_per_us=network.default_rate, name=f"{network.name}{suffix}")
+    for name in sorted(network.nodes):
+        node = network.nodes[name]
+        if node.is_switch:
+            twin.add_node(
+                Switch(
+                    name=f"{name}{suffix}",
+                    technological_latency_us=node.technological_latency_us,
+                )
+            )
+        else:
+            twin.add_node(
+                EndSystem(
+                    name=name,
+                    technological_latency_us=node.technological_latency_us,
+                )
+            )
+    for a, b, rate in network.links():
+        node_a = network.nodes[a]
+        node_b = network.nodes[b]
+        twin_a = f"{a}{suffix}" if node_a.is_switch else a
+        twin_b = f"{b}{suffix}" if node_b.is_switch else b
+        twin.add_link(twin_a, twin_b, rate_bits_per_us=rate)
+    for name in sorted(network.virtual_links):
+        vl = network.virtual_links[name]
+        twin.add_virtual_link(
+            VirtualLink(
+                name=vl.name,
+                source=vl.source,
+                paths=tuple(_rename(p, suffix) for p in vl.paths),
+                bag_ms=vl.bag_ms,
+                s_max_bytes=vl.s_max_bytes,
+                s_min_bytes=vl.s_min_bytes,
+                priority=vl.priority,
+            )
+        )
+    return twin
+
+
+@dataclass(frozen=True)
+class RedundantBound:
+    """Worst-case figures of one VL path over the redundant pair."""
+
+    vl_name: str
+    path_index: int
+    bound_a_us: float
+    bound_b_us: float
+    floor_a_us: float
+    floor_b_us: float
+
+    @property
+    def first_copy_us(self) -> float:
+        """Worst case of the copy RM actually delivers."""
+        return min(self.bound_a_us, self.bound_b_us)
+
+    @property
+    def any_copy_us(self) -> float:
+        """Worst case tolerating the loss of either network."""
+        return max(self.bound_a_us, self.bound_b_us)
+
+    @property
+    def skew_us(self) -> float:
+        """Largest arrival gap between the two copies (RM window)."""
+        return max(
+            self.bound_a_us - self.floor_b_us,
+            self.bound_b_us - self.floor_a_us,
+        )
+
+
+def _path_floor_us(network: Network, vl_name: str, path_index: int) -> float:
+    """Uncontended store-and-forward minimum of one path."""
+    vl = network.vl(vl_name)
+    ports = network.port_path(vl_name, path_index)
+    total = 0.0
+    for pid in ports:
+        total += vl.s_min_bits / network.link_rate(*pid)
+        total += network.node(pid[0]).technological_latency_us
+    return total
+
+
+def combine_redundant(
+    network_a: Network,
+    network_b: Network,
+    bounds_a: Dict[FlowPathKey, float],
+    bounds_b: Dict[FlowPathKey, float],
+) -> Dict[FlowPathKey, RedundantBound]:
+    """Merge per-network bounds into redundancy figures per VL path.
+
+    ``bounds_a`` / ``bounds_b`` map ``(vl_name, path_index)`` to the
+    per-network worst-case bound (from any of the analyses; the
+    combined per-path best is the natural choice).
+    """
+    if set(bounds_a) != set(bounds_b):
+        raise ValueError("the two networks cover different VL paths")
+    merged: Dict[FlowPathKey, RedundantBound] = {}
+    for key in sorted(bounds_a):
+        vl_name, path_index = key
+        merged[key] = RedundantBound(
+            vl_name=vl_name,
+            path_index=path_index,
+            bound_a_us=bounds_a[key],
+            bound_b_us=bounds_b[key],
+            floor_a_us=_path_floor_us(network_a, vl_name, path_index),
+            floor_b_us=_path_floor_us(network_b, vl_name, path_index),
+        )
+    return merged

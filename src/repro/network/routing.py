@@ -1,0 +1,81 @@
+"""Static route computation helpers.
+
+Real AFDX routes are engineered offline and frozen into the switch
+configuration tables; this module provides the equivalent offline step
+for programmatically built networks: deterministic shortest-path routing
+over the physical topology (BFS with lexicographic tie-breaking, so a
+given topology always yields the same routes), plus multicast-tree
+construction that keeps the shared prefix maximal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidTopologyError, UnknownNodeError
+from repro.network.topology import Network
+
+__all__ = ["shortest_path", "route_virtual_link", "reachable_end_systems"]
+
+
+def shortest_path(network: Network, source: str, destination: str) -> Tuple[str, ...]:
+    """Deterministic shortest node path between two nodes.
+
+    Breadth-first search; among equal-length routes the lexicographically
+    smallest predecessor wins, making routing reproducible for the
+    seeded industrial-configuration generator.
+
+    Raises
+    ------
+    InvalidTopologyError
+        When no route exists.
+    """
+    network.node(source)
+    network.node(destination)
+    if source == destination:
+        return (source,)
+    parent: Dict[str, Optional[str]] = {source: None}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in sorted(network.neighbors(current)):
+            if neighbor not in parent:
+                parent[neighbor] = current
+                if neighbor == destination:
+                    path: List[str] = [destination]
+                    while parent[path[-1]] is not None:
+                        path.append(parent[path[-1]])  # type: ignore[index]
+                    return tuple(reversed(path))
+                # frames never transit through an end system
+                if network.node(neighbor).is_switch:
+                    frontier.append(neighbor)
+    raise InvalidTopologyError(f"no route from {source!r} to {destination!r}")
+
+
+def route_virtual_link(
+    network: Network, source: str, destinations: Sequence[str]
+) -> Tuple[Tuple[str, ...], ...]:
+    """Compute one shortest path per destination for a (multicast) VL.
+
+    Each path is the plain shortest path from the source; because the
+    BFS is deterministic, paths towards different destinations share
+    their common prefix automatically, giving a valid multicast tree.
+    """
+    if not destinations:
+        raise UnknownNodeError("a VL needs at least one destination")
+    return tuple(shortest_path(network, source, dest) for dest in destinations)
+
+
+def reachable_end_systems(network: Network, source: str) -> Tuple[str, ...]:
+    """End systems reachable from ``source`` (excluding itself), sorted."""
+    out = []
+    for es in network.end_systems():
+        if es.name == source:
+            continue
+        try:
+            shortest_path(network, source, es.name)
+        except InvalidTopologyError:
+            continue
+        out.append(es.name)
+    return tuple(out)

@@ -1,0 +1,139 @@
+"""JSON persistence for network configurations.
+
+The on-disk format is a single JSON document::
+
+    {
+      "name": "fig2",
+      "rate_mbps": 100.0,
+      "nodes": [
+        {"name": "e1", "kind": "end_system", "latency_us": 0.0},
+        {"name": "S1", "kind": "switch", "latency_us": 16.0}
+      ],
+      "links": [{"a": "e1", "b": "S1", "rate_mbps": 100.0}],
+      "virtual_links": [
+        {"name": "v1", "source": "e1", "bag_ms": 4.0,
+         "s_max_bytes": 500, "s_min_bytes": 64,
+         "paths": [["e1", "S1", "S3", "e6"]]}
+      ]
+    }
+
+Frame sizes are bytes and BAGs milliseconds — the units of the ARINC-664
+configuration tables — converted internally per :mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.network.node import EndSystem, Switch
+from repro.network.topology import Network
+from repro.network.virtual_link import VirtualLink
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "network_to_json",
+    "network_from_json",
+]
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Serialize a network to a JSON-compatible dictionary."""
+    nodes = []
+    for name in sorted(network.nodes):
+        node = network.nodes[name]
+        nodes.append(
+            {
+                "name": node.name,
+                "kind": "end_system" if node.is_end_system else "switch",
+                "latency_us": node.technological_latency_us,
+            }
+        )
+    links = [
+        {"a": a, "b": b, "rate_mbps": units.bits_per_us_to_mbps(rate)}
+        for a, b, rate in network.links()
+    ]
+    vls = []
+    for name in sorted(network.virtual_links):
+        vl = network.virtual_links[name]
+        entry = {
+            "name": vl.name,
+            "source": vl.source,
+            "bag_ms": vl.bag_ms,
+            "s_max_bytes": vl.s_max_bytes,
+            "s_min_bytes": vl.s_min_bytes,
+            "paths": [list(p) for p in vl.paths],
+        }
+        if vl.priority:
+            entry["priority"] = vl.priority
+        vls.append(entry)
+    return {
+        "name": network.name,
+        "rate_mbps": units.bits_per_us_to_mbps(network.default_rate),
+        "nodes": nodes,
+        "links": links,
+        "virtual_links": vls,
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    try:
+        network = Network(
+            rate_bits_per_us=units.mbps_to_bits_per_us(data.get("rate_mbps", 100.0)),
+            name=data.get("name", "afdx"),
+        )
+        for node in data["nodes"]:
+            kind = node["kind"]
+            if kind == "end_system":
+                network.add_node(
+                    EndSystem(
+                        name=node["name"],
+                        technological_latency_us=node.get("latency_us", 0.0),
+                    )
+                )
+            elif kind == "switch":
+                network.add_node(
+                    Switch(
+                        name=node["name"],
+                        technological_latency_us=node.get("latency_us", 16.0),
+                    )
+                )
+            else:
+                raise ConfigurationError(f"unknown node kind {kind!r}")
+        for link in data.get("links", []):
+            rate = link.get("rate_mbps")
+            network.add_link(
+                link["a"],
+                link["b"],
+                rate_bits_per_us=None if rate is None else units.mbps_to_bits_per_us(rate),
+            )
+        for vl in data.get("virtual_links", []):
+            network.add_virtual_link(
+                VirtualLink(
+                    name=vl["name"],
+                    source=vl["source"],
+                    paths=tuple(tuple(p) for p in vl["paths"]),
+                    bag_ms=vl["bag_ms"],
+                    s_max_bytes=vl["s_max_bytes"],
+                    s_min_bytes=vl.get("s_min_bytes", 64),
+                    priority=vl.get("priority", 0),
+                )
+            )
+    except KeyError as exc:
+        raise ConfigurationError(f"missing required field {exc.args[0]!r}") from exc
+    return network
+
+
+def network_to_json(network: Network, path: Union[str, Path]) -> None:
+    """Write a network configuration to a JSON file."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2) + "\n")
+
+
+def network_from_json(path: Union[str, Path]) -> Network:
+    """Load a network configuration from a JSON file."""
+    return network_from_dict(json.loads(Path(path).read_text()))

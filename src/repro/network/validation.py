@@ -1,0 +1,133 @@
+"""Whole-configuration validation (AFDX admission-control style checks).
+
+:func:`validate_network` performs the global checks that cannot be done
+incrementally while a :class:`~repro.network.Network` is being built:
+
+* every end system is wired to exactly one switch;
+* every VL path is loop-free and consistent with the wiring (already
+  enforced per-VL at registration, revalidated here);
+* multicast paths of one VL form a tree (they may only diverge once per
+  node — after two paths separate they never re-join);
+* every used output port is *stable*: its long-term utilization
+  ``sum(s_max / BAG) / R`` does not exceed a configurable bound
+  (1.0 for plain feasibility; certification practice keeps margin).
+
+The function returns a :class:`ValidationReport`; :func:`check_network`
+raises instead, for use at analysis entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError, UnstableNetworkError
+from repro.network.port import PortId
+from repro.network.topology import Network
+
+__all__ = ["ValidationReport", "validate_network", "check_network"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_network`.
+
+    Attributes
+    ----------
+    errors:
+        Human-readable descriptions of hard violations (empty when the
+        configuration is acceptable).
+    warnings:
+        Non-fatal observations (e.g. utilization above the recommended
+        margin but below 1).
+    port_utilization:
+        Long-term utilization of every used output port.
+    """
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    port_utilization: Dict[PortId, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no hard violation was found."""
+        return not self.errors
+
+
+def _multicast_paths_form_tree(paths: Tuple[Tuple[str, ...], ...]) -> bool:
+    """Check that the paths of one VL only fork (never re-join).
+
+    Equivalent tree condition: for every node appearing in several
+    paths, the path *prefix* up to that node is identical in all of
+    them — a frame reaches any given node along a single route.
+    """
+    prefix_by_node: Dict[str, Tuple[str, ...]] = {}
+    for path in paths:
+        for idx, node in enumerate(path):
+            prefix = path[: idx + 1]
+            if node in prefix_by_node:
+                if prefix_by_node[node] != prefix:
+                    return False
+            else:
+                prefix_by_node[node] = prefix
+    return True
+
+
+def validate_network(
+    network: Network,
+    max_utilization: float = 1.0,
+    warn_utilization: float = 0.75,
+) -> ValidationReport:
+    """Run all global configuration checks and collect the findings."""
+    report = ValidationReport()
+
+    for es in network.end_systems():
+        degree = len(network.neighbors(es.name))
+        if degree == 0:
+            report.warnings.append(f"end system {es.name!r} is not wired to any switch")
+        elif degree > 1:
+            report.errors.append(
+                f"end system {es.name!r} has {degree} links; ARINC 664 allows exactly one"
+            )
+
+    for name, vl in network.virtual_links.items():
+        if not _multicast_paths_form_tree(vl.paths):
+            report.errors.append(
+                f"VL {name!r}: multicast paths re-join after forking; "
+                "they must form a tree rooted at the source"
+            )
+
+    for port_id in network.used_ports():
+        util = network.port_utilization(port_id)
+        report.port_utilization[port_id] = util
+        if util > max_utilization:
+            report.errors.append(
+                f"output port {port_id[0]}->{port_id[1]} is overloaded: "
+                f"utilization {util:.3f} > {max_utilization:.3f}"
+            )
+        elif util > warn_utilization:
+            report.warnings.append(
+                f"output port {port_id[0]}->{port_id[1]} utilization {util:.3f} "
+                f"exceeds the recommended margin {warn_utilization:.3f}"
+            )
+
+    return report
+
+
+def check_network(network: Network, max_utilization: float = 1.0) -> ValidationReport:
+    """Validate and raise on the first hard violation.
+
+    Raises
+    ------
+    UnstableNetworkError
+        When some port's utilization exceeds ``max_utilization``.
+    ConfigurationError
+        For any other hard violation.
+    """
+    report = validate_network(network, max_utilization=max_utilization)
+    if report.ok:
+        return report
+    overload = [e for e in report.errors if "overloaded" in e]
+    if overload:
+        raise UnstableNetworkError("; ".join(overload))
+    raise ConfigurationError("; ".join(report.errors))

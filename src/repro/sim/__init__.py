@@ -1,0 +1,34 @@
+"""Frame-level discrete-event simulation of AFDX networks.
+
+The analytic bounds of :mod:`repro.netcalc` and :mod:`repro.trajectory`
+are *upper* bounds; this package provides the matching *lower*
+witnesses: an event-driven simulator of the modelled network — per-VL
+BAG regulators at the end systems, FIFO output ports at link rate,
+constant technological latency per switch, multicast duplication at the
+forking switches — that measures observed end-to-end delays.
+
+The invariant ``max observed delay <= analytic bound`` is asserted
+throughout the test suite (it is how the reproduction validates both
+analyses without the authors' testbed) and demonstrated in
+``examples/simulation_validation.py``.
+
+Entry point: :func:`simulate` with a :class:`TrafficScenario`.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.network_sim import NetworkSimulation
+from repro.sim.scenarios import TrafficScenario, simulate
+from repro.sim.search import PathTightness, TightnessReport, evaluate_tightness
+from repro.sim.tracer import DelayTracer, SimulationResult
+
+__all__ = [
+    "Simulator",
+    "NetworkSimulation",
+    "TrafficScenario",
+    "simulate",
+    "DelayTracer",
+    "SimulationResult",
+    "PathTightness",
+    "TightnessReport",
+    "evaluate_tightness",
+]

@@ -1,0 +1,29 @@
+"""Simulated Ethernet frames."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Frame"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One Ethernet frame of a Virtual Link in flight.
+
+    Multicast duplication creates several :class:`Frame` objects sharing
+    ``vl_name`` / ``sequence`` / ``release_time`` but heading to
+    different destinations; each copy is traced independently, matching
+    the per-path accounting of the analyses.
+    """
+
+    vl_name: str
+    sequence: int
+    size_bits: float
+    release_time_us: float
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size_bits}")
+        if self.release_time_us < 0:
+            raise ValueError(f"release time must be >= 0, got {self.release_time_us}")

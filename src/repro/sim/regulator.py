@@ -1,0 +1,61 @@
+"""BAG regulators: per-VL traffic sources.
+
+An AFDX end system shapes every VL it emits so that two consecutive
+frames are separated by at least the BAG.  The regulator schedules the
+corresponding release processes:
+
+* ``periodic`` emission releases a frame exactly every BAG — the VL's
+  contract saturated, the most adversarial admissible behaviour;
+* ``sporadic`` emission adds random extra idle time between frames,
+  modelling functions that undershoot their envelope.
+
+Frame sizes are either pinned at ``s_max`` (worst case) or drawn
+uniformly from ``[s_min, s_max]``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim.network_sim import NetworkSimulation
+
+__all__ = ["schedule_vl_traffic"]
+
+
+def schedule_vl_traffic(
+    simulation: NetworkSimulation,
+    vl_name: str,
+    horizon_us: float,
+    offset_us: float = 0.0,
+    periodic: bool = True,
+    max_size: bool = True,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """Pre-schedule all releases of one VL up to ``horizon_us``.
+
+    Returns the number of frames scheduled.  ``rng`` is required when
+    ``periodic`` is False or ``max_size`` is False.
+    """
+    if offset_us < 0:
+        raise ValueError(f"offset must be >= 0, got {offset_us}")
+    if (not periodic or not max_size) and rng is None:
+        raise ValueError("random emission modes require an rng")
+    vl = simulation.network.vl(vl_name)
+    bag = vl.bag_us
+    count = 0
+    time = offset_us
+    while time < horizon_us:
+        if max_size:
+            size = vl.s_max_bits
+        else:
+            assert rng is not None
+            size = float(rng.uniform(vl.s_min_bits, vl.s_max_bits))
+        simulation.release_frame(vl_name, time_us=time, size_bits=size)
+        count += 1
+        if periodic:
+            time += bag
+        else:
+            assert rng is not None
+            time += bag * (1.0 + rng.expovariate(2.0))
+    return count

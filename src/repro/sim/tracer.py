@@ -1,0 +1,107 @@
+"""Delay recording and simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.network.port import PortId
+
+__all__ = ["DelayTracer", "PathDelayStats", "SimulationResult"]
+
+FlowPathKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class PathDelayStats:
+    """Observed end-to-end delay statistics of one VL path."""
+
+    vl_name: str
+    path_index: int
+    n_frames: int
+    min_us: float
+    mean_us: float
+    max_us: float
+
+    @property
+    def jitter_us(self) -> float:
+        """Observed delay spread (max - min)."""
+        return self.max_us - self.min_us
+
+
+class DelayTracer:
+    """Accumulates per-path delay samples during a run.
+
+    Keeps only the running aggregate (count/sum/min/max) per path plus
+    an optional bounded sample list, so multi-second simulations of the
+    industrial configuration stay memory-flat.
+    """
+
+    def __init__(self, keep_samples: int = 0):
+        if keep_samples < 0:
+            raise ValueError(f"keep_samples must be >= 0, got {keep_samples}")
+        self._keep = keep_samples
+        self._count: Dict[FlowPathKey, int] = {}
+        self._sum: Dict[FlowPathKey, float] = {}
+        self._min: Dict[FlowPathKey, float] = {}
+        self._max: Dict[FlowPathKey, float] = {}
+        self.samples: Dict[FlowPathKey, List[float]] = {}
+
+    def record(self, vl_name: str, path_index: int, delay_us: float) -> None:
+        """Add one observed end-to-end delay."""
+        if delay_us < 0:
+            raise ValueError(f"negative delay recorded: {delay_us}")
+        key = (vl_name, path_index)
+        self._count[key] = self._count.get(key, 0) + 1
+        self._sum[key] = self._sum.get(key, 0.0) + delay_us
+        self._min[key] = min(self._min.get(key, delay_us), delay_us)
+        self._max[key] = max(self._max.get(key, delay_us), delay_us)
+        if self._keep:
+            bucket = self.samples.setdefault(key, [])
+            if len(bucket) < self._keep:
+                bucket.append(delay_us)
+
+    def stats(self) -> Dict[FlowPathKey, PathDelayStats]:
+        """Aggregate statistics per path."""
+        return {
+            key: PathDelayStats(
+                vl_name=key[0],
+                path_index=key[1],
+                n_frames=self._count[key],
+                min_us=self._min[key],
+                mean_us=self._sum[key] / self._count[key],
+                max_us=self._max[key],
+            )
+            for key in self._count
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes
+    ----------
+    duration_us:
+        Simulated horizon.
+    paths:
+        Observed delay statistics per VL path (paths whose VL never
+        emitted a frame are absent).
+    peak_backlog_bits:
+        Largest buffer occupancy observed per output port — the
+        empirical counterpart of the Network Calculus backlog bound.
+    """
+
+    duration_us: float
+    paths: Dict[FlowPathKey, PathDelayStats] = field(default_factory=dict)
+    peak_backlog_bits: Dict[PortId, float] = field(default_factory=dict)
+
+    def max_delay_us(self, vl_name: str, path_index: int = 0) -> float:
+        """Largest observed delay of one VL path."""
+        return self.paths[(vl_name, path_index)].max_us
+
+    def worst_observed(self) -> PathDelayStats:
+        """The path with the largest observed delay."""
+        if not self.paths:
+            raise ValueError("simulation recorded no delivered frames")
+        return max(self.paths.values(), key=lambda s: s.max_us)

@@ -1,0 +1,107 @@
+"""Busy-period bounds and candidate release instants.
+
+A *busy period* of an output port is a maximal interval during which
+the port always has a frame to transmit (paper Sec. II-B).  The packet
+under study is released inside a busy period of its **first** port (a
+release outside one would see an empty source queue and a strictly
+easier scenario), so the maximization variable ``t`` of the Trajectory
+formula ranges over ``[0, BP)`` where ``BP`` bounds the longest busy
+period of the source port.
+
+The workload function ``W(t) - t`` is piecewise decreasing between the
+jump instants of the interference counters, so only ``t = 0`` and the
+jump instants inside ``[0, BP)`` need to be evaluated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConvergenceError, UnstableNetworkError
+
+__all__ = ["interference_count", "busy_period_bound", "candidate_instants"]
+
+#: Hard cap on fixed-point iterations (a stable port converges far sooner).
+_MAX_ITERATIONS = 10_000
+
+
+def interference_count(t: float, offset: float, period: float) -> int:
+    """Frames of a sporadic ``(C, T)`` flow able to delay a release at ``t``.
+
+    ``(1 + floor((t + A) / T))+`` — the Martin & Minet counter: the
+    flow's frames that may reach the shared port no later than the
+    packet under study, given the relative arrival offset ``A``.
+    """
+    shifted = t + offset
+    if shifted < 0:
+        return 0
+    return 1 + math.floor(shifted / period + 1e-9)
+
+
+def busy_period_bound(
+    flows: Iterable[Tuple[float, float, float]],
+    max_iterations: int = _MAX_ITERATIONS,
+) -> float:
+    """Longest busy period of a port serving sporadic flows.
+
+    Parameters
+    ----------
+    flows:
+        Triples ``(C, T, A)`` — transmission time, period (BAG) and
+        arrival offset of every flow crossing the port.
+
+    Returns the least fixed point of
+    ``b = sum_j count_j(b) * C_j`` reached by ascending iteration.
+
+    Raises
+    ------
+    UnstableNetworkError
+        If the port utilization is >= 1 (no finite busy period).
+    ConvergenceError
+        If the iteration budget is exhausted (defensive; cannot happen
+        for utilization < 1).
+    """
+    flow_list = list(flows)
+    if not flow_list:
+        return 0.0
+    utilization = sum(c / t for c, t, _ in flow_list)
+    if utilization >= 1.0 - 1e-12:
+        raise UnstableNetworkError(
+            f"port utilization {utilization:.4f} >= 1: busy period is unbounded"
+        )
+    value = sum(c for c, _, _ in flow_list)
+    for _ in range(max_iterations):
+        new_value = sum(
+            interference_count(value, offset, period) * c
+            for c, period, offset in flow_list
+        )
+        if new_value <= value + 1e-9:
+            return max(value, new_value)
+        value = new_value
+    raise ConvergenceError(
+        f"busy-period iteration did not converge within {max_iterations} steps"
+    )
+
+
+def candidate_instants(
+    competitors: Dict[str, Tuple[float, float, float]],
+    horizon: float,
+) -> List[float]:
+    """Release instants where the trajectory workload can peak.
+
+    Returns ``0`` plus every jump instant ``k * T_j - A_j`` of every
+    competitor counter that falls inside ``(0, horizon)``, sorted and
+    deduplicated.
+    """
+    instants = {0.0}
+    for _c, period, offset in competitors.values():
+        k = math.floor(offset / period) + 1
+        while True:
+            t = k * period - offset
+            if t >= horizon:
+                break
+            if t > 0:
+                instants.add(t)
+            k += 1
+    return sorted(instants)

@@ -1,0 +1,85 @@
+"""Unit conventions and conversion helpers.
+
+Everything inside the library uses a single, integer-friendly unit system:
+
+* **time** — microseconds (``float``; all AFDX quantities of interest —
+  16 us latencies, 40 us frame times, millisecond BAGs — are exactly
+  representable).
+* **data** — bits.
+* **rate** — bits per microsecond.  The canonical AFDX link rate of
+  100 Mb/s is exactly ``100.0`` bits/us, which keeps hand calculations
+  readable.
+
+Public configuration surfaces (JSON files, constructors of
+:class:`repro.network.VirtualLink`) accept the units people actually use
+for AFDX — bytes for frame sizes, milliseconds for BAGs — and convert
+through the helpers below.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "US_PER_MS",
+    "US_PER_S",
+    "MBPS_100",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "ms_to_us",
+    "us_to_ms",
+    "mbps_to_bits_per_us",
+    "bits_per_us_to_mbps",
+    "transmission_time_us",
+]
+
+BITS_PER_BYTE = 8
+US_PER_MS = 1000.0
+US_PER_S = 1_000_000.0
+
+#: Canonical AFDX link rate (100 Mb/s) expressed in bits per microsecond.
+MBPS_100 = 100.0
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert a byte count to bits."""
+    return nbytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(nbits: float) -> float:
+    """Convert a bit count to bytes."""
+    return nbits / BITS_PER_BYTE
+
+
+def ms_to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return ms * US_PER_MS
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / US_PER_MS
+
+
+def mbps_to_bits_per_us(mbps: float) -> float:
+    """Convert megabits per second to bits per microsecond.
+
+    1 Mb/s = 10**6 bits / 10**6 us = exactly 1 bit/us, so this is the
+    identity — it exists to make call sites self-documenting.
+    """
+    return float(mbps)
+
+
+def bits_per_us_to_mbps(rate: float) -> float:
+    """Convert bits per microsecond back to megabits per second."""
+    return float(rate)
+
+
+def transmission_time_us(frame_bits: float, rate_bits_per_us: float) -> float:
+    """Time to clock ``frame_bits`` onto a link of the given rate.
+
+    >>> transmission_time_us(4000, 100.0)   # 500 B at 100 Mb/s
+    40.0
+    """
+    if rate_bits_per_us <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bits_per_us}")
+    return frame_bits / rate_bits_per_us

@@ -1,0 +1,63 @@
+"""End-to-end jitter bounds."""
+
+import pytest
+
+from repro.core import analyze_network, jitter_bounds, path_floor_us
+from repro.sim import TrafficScenario, simulate
+
+
+class TestPathFloor:
+    def test_fig2_floor(self, fig2):
+        # fig2 frames are fixed-size (s_min = s_max = 500 B):
+        # 3 transmissions x 40 us + 2 switch latencies x 16 us
+        assert path_floor_us(fig2, "v1") == pytest.approx(152.0)
+
+    def test_floor_uses_min_size(self, single_switch):
+        # va: s_min 64 B -> 5.12 us per hop
+        assert path_floor_us(single_switch, "va") == pytest.approx(
+            2 * 5.12 + 16.0
+        )
+
+    def test_floor_attained_by_unloaded_simulation(self, fig2):
+        """A lone maximal frame achieves floor when s_min == s_max."""
+        from repro.sim import NetworkSimulation
+
+        sim = NetworkSimulation(fig2)
+        sim.release_frame("v1", time_us=0.0)
+        result = sim.run(until_us=1000.0)
+        assert result.max_delay_us("v1") == pytest.approx(path_floor_us(fig2, "v1"))
+
+
+class TestJitterBounds:
+    def test_jitter_is_bound_minus_floor(self, fig2):
+        result = analyze_network(fig2)
+        jitters = jitter_bounds(fig2, result)
+        for key, jb in jitters.items():
+            assert jb.jitter_us == pytest.approx(
+                result.paths[key].best_us - jb.floor_us
+            )
+            assert jb.jitter_us >= 0
+
+    def test_observed_jitter_within_bound(self, fig2):
+        result = analyze_network(fig2)
+        jitters = jitter_bounds(fig2, result)
+        observed = simulate(
+            fig2, TrafficScenario(duration_ms=60, synchronized=False, seed=2)
+        )
+        for key, stats in observed.paths.items():
+            assert stats.jitter_us <= jitters[key].jitter_us + 1e-6
+
+    def test_every_path_covered(self, fig1):
+        result = analyze_network(fig1)
+        jitters = jitter_bounds(fig1, result)
+        assert set(jitters) == set(result.paths)
+
+    def test_inconsistent_bound_rejected(self, fig2):
+        result = analyze_network(fig2)
+        key = ("v1", 0)
+        broken = result.paths[key].__class__(
+            **{**result.paths[key].__dict__, "best_us": 1.0}
+        )
+        result.paths[key] = broken
+        with pytest.raises(ValueError, match="floor"):
+            jitter_bounds(fig2, result)

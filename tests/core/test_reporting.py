@@ -1,0 +1,59 @@
+"""Certification report rendering."""
+
+import pytest
+
+from repro.core import certification_report, compare_methods
+from repro.netcalc import analyze_network_calculus
+
+
+@pytest.fixture
+def report(fig2):
+    nc = analyze_network_calculus(fig2)
+    result = compare_methods(fig2)
+    return certification_report(fig2, result, nc_result=nc, top_paths=3)
+
+
+def test_header_identifies_configuration(report):
+    assert "configuration 'fig2'" in report
+    assert "5 VLs / 5 paths" in report
+
+
+def test_all_paths_listed(report):
+    for name in ("v1[0]", "v2[0]", "v3[0]", "v4[0]", "v5[0]"):
+        assert name in report
+
+
+def test_sections_present(report):
+    assert "End-to-end delay bounds" in report
+    assert "critical paths" in report
+    assert "Method comparison" in report
+    assert "Output-port dimensioning" in report
+
+
+def test_top_paths_limited(report):
+    section = report.split("Top 3 critical paths")[1].split("Method comparison")[0]
+    assert section.count(" via ") == 3
+
+
+def test_jitter_and_floor_columns(report):
+    assert "jitter" in report
+    assert "floor" in report
+
+
+def test_buffer_budget_line(report):
+    assert "total switch buffer budget" in report
+
+
+def test_without_nc_result_omits_port_section(fig2):
+    result = compare_methods(fig2)
+    text = certification_report(fig2, result)
+    assert "Output-port dimensioning" not in text
+    assert "End-to-end delay bounds" in text
+
+
+def test_deterministic(fig2):
+    nc = analyze_network_calculus(fig2)
+    result = compare_methods(fig2)
+    a = certification_report(fig2, result, nc_result=nc)
+    b = certification_report(fig2, result, nc_result=nc)
+    assert a == b

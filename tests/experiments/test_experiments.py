@@ -1,0 +1,89 @@
+"""Experiment drivers produce well-formed artefacts (reduced scale)."""
+
+import pytest
+
+from repro.configs import IndustrialConfigSpec
+from repro.experiments import (
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+)
+
+SPEC = IndustrialConfigSpec(n_virtual_links=120, end_systems_per_switch=5)
+
+
+class TestTable1:
+    def test_rows(self):
+        result = run_table1(spec=SPEC)
+        assert [row[0] for row in result.rows] == ["Mean", "Maximum", "Minimum"]
+        assert all(len(row) == 3 for row in result.rows)
+
+    def test_percent_formatting(self):
+        result = run_table1(spec=SPEC)
+        assert all(cell.endswith("%") for row in result.rows for cell in row[1:])
+
+
+class TestFig5:
+    def test_one_row_per_bag(self):
+        result = run_fig5(spec=SPEC)
+        bags = [row[0] for row in result.rows]
+        assert bags == sorted(bags)
+        assert set(bags) <= {1, 2, 4, 8, 16, 32, 64, 128}
+
+    def test_populations_sum_to_path_count(self):
+        result = run_fig5(spec=SPEC)
+        from repro.experiments.runner import industrial_config
+
+        total = sum(row[2] for row in result.rows)
+        assert total == len(industrial_config(SPEC).flow_paths())
+
+
+class TestFig6:
+    def test_bins_cover_ethernet_range(self):
+        result = run_fig6(spec=SPEC)
+        first_bin = result.rows[0][0]
+        assert first_bin.startswith("0") or first_bin.startswith("6") or "-" in first_bin
+        assert all(0.0 <= row[1] <= 100.0 for row in result.rows)
+
+    def test_custom_bin_size(self):
+        coarse = run_fig6(spec=SPEC, bin_bytes=500)
+        fine = run_fig6(spec=SPEC, bin_bytes=100)
+        assert len(coarse.rows) < len(fine.rows)
+
+
+class TestFig7:
+    def test_sweep_grid(self):
+        result = run_fig7(s_max_values=(100, 500, 1000))
+        assert [row[0] for row in result.rows] == [100, 500, 1000]
+        assert all(row[1] > 0 and row[2] > 0 for row in result.rows)
+
+    def test_diff_column_consistent(self):
+        result = run_fig7(s_max_values=(100, 1000))
+        for row in result.rows:
+            assert row[3] == pytest.approx(row[2] - row[1])
+
+
+class TestFig8:
+    def test_sweep_grid(self):
+        result = run_fig8(bag_values=(1, 8, 128))
+        assert [row[0] for row in result.rows] == [1, 8, 128]
+
+    def test_notes_mention_flatness(self):
+        result = run_fig8(bag_values=(1, 128))
+        assert any("flat" in note for note in result.notes)
+
+
+class TestFig9:
+    def test_grid_dimensions(self):
+        result = run_fig9(bag_values=(1, 4), s_max_values=(100.0, 500.0, 1500.0))
+        assert len(result.rows) == 2
+        assert len(result.rows[0]) == 4  # label + 3 cells
+
+    def test_sign_structure(self):
+        result = run_fig9(bag_values=(4,), s_max_values=(100.0, 1500.0))
+        row = result.rows[0]
+        assert row[1] < 0  # small frame: WCNC wins
+        assert row[-1] > 0  # large frame: Trajectory wins

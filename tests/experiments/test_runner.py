@@ -1,0 +1,49 @@
+"""Experiment registry and result rendering."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentResult, get_experiment, run_experiment
+
+
+def test_all_paper_artifacts_registered():
+    assert set(EXPERIMENTS) == {
+        "table1",
+        "fig3_4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "optimism",
+    }
+
+
+def test_get_unknown_experiment():
+    with pytest.raises(KeyError, match="known:"):
+        get_experiment("fig99")
+
+
+def test_run_experiment_dispatches():
+    result = run_experiment("fig3_4")
+    assert result.experiment_id == "fig3_4"
+
+
+def test_render_aligns_columns():
+    result = ExperimentResult(
+        experiment_id="x",
+        title="demo",
+        headers=("a", "bbbb"),
+        rows=[(1, 2.5), ("long", 3)],
+        notes=["hello"],
+    )
+    text = result.render()
+    lines = text.splitlines()
+    assert lines[0] == "== x: demo =="
+    assert "note: hello" in text
+    # header separator present
+    assert set(lines[2]) <= {"-", " "}
+
+
+def test_render_formats_floats():
+    result = ExperimentResult("x", "t", ("v",), rows=[(1.23456,)])
+    assert "1.23" in result.render()

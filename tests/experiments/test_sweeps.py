@@ -1,0 +1,52 @@
+"""Shared sweep machinery and the optimism experiment."""
+
+import pytest
+
+from repro.experiments.optimism import optimism_network, run_optimism
+from repro.experiments.sweeps import (
+    DEFAULT_BAG_SWEEP_MS,
+    DEFAULT_S_MAX_SWEEP_BYTES,
+    bounds_for_v1,
+)
+
+
+class TestSweeps:
+    def test_default_grids_match_paper_axes(self):
+        assert DEFAULT_S_MAX_SWEEP_BYTES[0] == 100
+        assert DEFAULT_S_MAX_SWEEP_BYTES[-1] == 1500
+        assert DEFAULT_BAG_SWEEP_MS == (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def test_default_point_matches_fig2(self):
+        nc, trajectory = bounds_for_v1()
+        assert trajectory == pytest.approx(232.0)
+        assert nc == pytest.approx(276.0, abs=0.1)
+
+    def test_sweep_does_not_leak_between_calls(self):
+        before = bounds_for_v1()
+        bounds_for_v1(s_max_bytes=1500, bag_ms=1)
+        after = bounds_for_v1()
+        assert before == after
+
+    def test_other_flows_unchanged(self):
+        # changing v1 must not change the sample configuration defaults
+        from repro.configs.fig2 import fig2_network
+
+        net = fig2_network()
+        assert net.vl("v3").s_max_bytes == 500.0
+
+
+class TestOptimismExperiment:
+    def test_rows_cover_all_modes(self):
+        result = run_optimism(duration_ms=30)
+        assert [row[0] for row in result.rows] == ["paper", "windowed", "safe"]
+
+    def test_paper_mode_flagged(self):
+        result = run_optimism(duration_ms=30)
+        verdicts = {row[0]: row[3] for row in result.rows}
+        assert verdicts["paper"] == "VIOLATED"
+        assert verdicts["safe"] == "holds"
+
+    def test_network_structure(self):
+        net = optimism_network()
+        assert len(net.virtual_links) == 10
+        assert len(net.switches()) == 1

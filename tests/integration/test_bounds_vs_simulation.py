@@ -1,0 +1,97 @@
+"""The central soundness invariant: analytic bounds dominate simulation.
+
+Every delay observed by the frame-level simulator is a *witness* of a
+reachable behaviour; a sound worst-case bound can never be below it.
+This holds for the Network Calculus bound (with and without grouping)
+and for the Trajectory bound in its provably sound 'safe' mode.  (The
+paper-mode serialization credit intentionally fails this in a corner
+case — covered by tests/trajectory/test_serialization.py.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configs import fig1_network, fig2_network, random_network
+from repro.netcalc import analyze_network_calculus
+from repro.sim import TrafficScenario, simulate
+from repro.trajectory import analyze_trajectory
+
+
+def assert_bounds_hold(network, scenario):
+    nc = analyze_network_calculus(network, grouping=True)
+    nc_plain = analyze_network_calculus(network, grouping=False)
+    trajectory = analyze_trajectory(network, serialization="safe")
+    observed = simulate(network, scenario)
+    assert observed.paths, "simulation delivered no frames"
+    for key, stats in observed.paths.items():
+        assert stats.max_us <= nc.paths[key].total_us + 1e-6, (key, "NC grouped")
+        assert stats.max_us <= nc_plain.paths[key].total_us + 1e-6, (key, "NC plain")
+        assert stats.max_us <= trajectory.paths[key].total_us + 1e-6, (key, "Trajectory")
+    return observed, nc, trajectory
+
+
+class TestPaperConfigs:
+    def test_fig2_synchronized(self):
+        assert_bounds_hold(fig2_network(), TrafficScenario(duration_ms=60))
+
+    def test_fig2_random_offsets(self):
+        assert_bounds_hold(
+            fig2_network(), TrafficScenario(duration_ms=60, synchronized=False, seed=9)
+        )
+
+    def test_fig2_sporadic_random_sizes(self):
+        assert_bounds_hold(
+            fig2_network(),
+            TrafficScenario(duration_ms=60, periodic=False, max_size=False, seed=4),
+        )
+
+    def test_fig1_synchronized(self):
+        assert_bounds_hold(fig1_network(), TrafficScenario(duration_ms=60))
+
+    def test_fig2_trajectory_bound_attained(self):
+        """Tightness witness: the sound bound is reached exactly."""
+        network = fig2_network()
+        trajectory = analyze_trajectory(network, serialization="safe")
+        observed = simulate(network, TrafficScenario(duration_ms=60))
+        attained = [
+            key
+            for key, stats in observed.paths.items()
+            if stats.max_us == pytest.approx(trajectory.paths[key].total_us)
+        ]
+        assert attained, "no path attains its trajectory bound on Fig. 2"
+
+
+class TestRandomConfigs:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_seeded_configurations(self, seed):
+        network = random_network(
+            seed, n_switches=3, n_end_systems=8, n_virtual_links=8
+        )
+        assert_bounds_hold(network, TrafficScenario(duration_ms=30))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scenario_seed=st.integers(min_value=0, max_value=100),
+        synchronized=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_config_random_traffic(
+        self, seed, scenario_seed, synchronized
+    ):
+        network = random_network(
+            seed, n_switches=3, n_end_systems=6, n_virtual_links=6
+        )
+        scenario = TrafficScenario(
+            duration_ms=25, synchronized=synchronized, seed=scenario_seed
+        )
+        assert_bounds_hold(network, scenario)
+
+
+class TestBacklogBounds:
+    def test_observed_backlog_below_nc_bound(self):
+        network = fig1_network()
+        nc = analyze_network_calculus(network, grouping=True)
+        observed = simulate(network, TrafficScenario(duration_ms=60))
+        for port_id, peak in observed.peak_backlog_bits.items():
+            assert peak <= nc.ports[port_id].backlog_bits + 1e-6, port_id

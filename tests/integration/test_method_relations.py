@@ -1,0 +1,110 @@
+"""Cross-method invariants the theory demands."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configs import random_network
+from repro.core import analyze_network
+from repro.netcalc import analyze_network_calculus
+from repro.trajectory import analyze_trajectory
+
+SEEDS = [1, 7, 23, 99]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_grouping_never_loosens_nc(seed):
+    network = random_network(seed, n_virtual_links=8)
+    grouped = analyze_network_calculus(network, grouping=True)
+    plain = analyze_network_calculus(network, grouping=False)
+    for key in grouped.paths:
+        assert grouped.paths[key].total_us <= plain.paths[key].total_us + 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_serialization_mode_ordering(seed):
+    network = random_network(seed, n_virtual_links=8)
+    paper = analyze_trajectory(network, serialization="paper")
+    windowed = analyze_trajectory(network, serialization="windowed")
+    safe = analyze_trajectory(network, serialization="safe")
+    for key in safe.paths:
+        assert paper.paths[key].total_us <= windowed.paths[key].total_us + 1e-6
+        assert windowed.paths[key].total_us <= safe.paths[key].total_us + 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_smax_refinement_never_loosens(seed):
+    network = random_network(seed, n_virtual_links=8)
+    refined = analyze_trajectory(network, refine_smax=True)
+    single = analyze_trajectory(network, refine_smax=False)
+    for key in refined.paths:
+        assert refined.paths[key].total_us <= single.paths[key].total_us + 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_combined_dominates_both(seed):
+    network = random_network(seed, n_virtual_links=8)
+    result = analyze_network(network)
+    for path in result.paths.values():
+        assert path.best_us <= path.network_calculus_us + 1e-9
+        assert path.best_us <= path.trajectory_us + 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bounds_at_least_pipeline_minimum(seed):
+    """No bound can be below the uncontended store-and-forward delay."""
+    network = random_network(seed, n_virtual_links=8)
+    result = analyze_network(network)
+    for (vl_name, idx), path in result.paths.items():
+        vl = network.vl(vl_name)
+        ports = network.port_path(vl_name, idx)
+        floor = sum(
+            vl.s_max_bits / network.link_rate(*pid) for pid in ports
+        ) + sum(network.node(pid[0]).technological_latency_us for pid in ports)
+        assert path.best_us >= floor - 1e-6
+
+
+@given(st.integers(min_value=0, max_value=5000))
+@settings(max_examples=10, deadline=None)
+def test_larger_frames_never_shrink_own_bound(seed):
+    """Monotonicity: growing a VL's s_max cannot reduce its own bound."""
+    network = random_network(seed, n_virtual_links=6)
+    name = sorted(network.virtual_links)[0]
+    small = analyze_network(network).paths
+    bigger = network.copy()
+    vl = bigger.vl(name)
+    bigger.replace_virtual_link(vl.with_s_max_bytes(min(1518.0, vl.s_max_bytes * 1.5)))
+    if bigger.max_utilization() > 1.0:
+        return  # growth made it unschedulable; nothing to compare
+    big = analyze_network(bigger).paths
+    for key in small:
+        if key[0] == name:
+            assert big[key].best_us >= small[key].best_us - 1e-6
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_adding_a_flow_never_tightens_others(seed):
+    """Adding traffic can only increase (or keep) everyone's bounds."""
+    from repro.network.routing import route_virtual_link
+    from repro.network.virtual_link import VirtualLink
+
+    network = random_network(seed, n_virtual_links=6)
+    before = analyze_network(network).paths
+
+    extended = network.copy()
+    sources = [es.name for es in extended.end_systems()]
+    src, dst = sources[0], sources[-1]
+    extra = VirtualLink(
+        name="extra",
+        source=src,
+        paths=route_virtual_link(extended, src, [dst]),
+        bag_ms=32,
+        s_max_bytes=64,
+    )
+    extended.add_virtual_link(extra)
+    if extended.max_utilization() >= 1.0:
+        return
+    after = analyze_network(extended).paths
+    for key in before:
+        assert after[key].network_calculus_us >= before[key].network_calculus_us - 1e-6
+        assert after[key].trajectory_us >= before[key].trajectory_us - 1e-6

@@ -1,0 +1,145 @@
+"""The paper's qualitative findings, asserted as tests.
+
+Absolute values cannot match (the industrial configuration is a
+synthetic substitute), but every *shape* the paper reports must hold.
+"""
+
+import pytest
+
+from repro.configs import IndustrialConfigSpec
+from repro.experiments import (
+    run_fig3_4,
+    run_fig7,
+    run_fig8,
+    run_table1,
+)
+from repro.experiments.runner import industrial_comparison, industrial_config
+
+SMALL_SPEC = IndustrialConfigSpec(n_virtual_links=150, end_systems_per_switch=6)
+
+
+class TestWorkedExample:
+    def test_fig3_to_fig4_gain_is_one_frame(self):
+        result = run_fig3_4()
+        v1 = next(row for row in result.rows if row[0] == "v1")
+        assert v1[3] == pytest.approx(40.0)  # gain
+        assert v1[1] == pytest.approx(272.0)  # plain (Fig. 3 scenario)
+        assert v1[2] == pytest.approx(232.0)  # enhanced (Fig. 4 scenario)
+
+
+class TestTable1Shape:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        from repro.core import summarize
+
+        comparison = industrial_comparison(SMALL_SPEC)
+        return summarize(comparison.paths.values())
+
+    def test_mean_benefit_positive(self, stats):
+        assert stats.mean_benefit_trajectory_pct > 0
+
+    def test_trajectory_wins_majority(self, stats):
+        assert stats.trajectory_wins_share > 0.5
+
+    def test_best_minimum_is_exactly_zero(self, stats):
+        assert stats.min_benefit_best_pct == pytest.approx(0.0)
+
+    def test_best_never_below_trajectory(self, stats):
+        assert stats.mean_benefit_best_pct >= stats.mean_benefit_trajectory_pct - 1e-9
+
+    def test_table_renders(self):
+        result = run_table1(spec=SMALL_SPEC)
+        text = result.render()
+        assert "Trajectory/WCNC" in text and "Best/WCNC" in text
+
+
+class TestFig7Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig7(s_max_values=(100, 200, 300, 500, 1000, 1500)).rows
+
+    def test_nc_wins_for_small_frames(self, rows):
+        assert rows[0][3] < 0  # 100 B: WCNC tighter
+
+    def test_trajectory_wins_for_large_frames(self, rows):
+        assert rows[-1][3] > 0  # 1500 B: Trajectory tighter
+
+    def test_single_crossover(self, rows):
+        signs = [row[3] >= 0 for row in rows]
+        assert signs == sorted(signs)  # once positive, stays positive
+
+    def test_both_bounds_increase_with_frame_size(self, rows):
+        trajectories = [row[1] for row in rows]
+        ncs = [row[2] for row in rows]
+        assert trajectories == sorted(trajectories)
+        assert ncs == sorted(ncs)
+
+    def test_gap_grows_as_smax_shrinks(self, rows):
+        # below the crossover, the NC advantage increases monotonically
+        below = [row[3] for row in rows if row[3] < 0]
+        assert below == sorted(below)
+
+
+class TestFig8Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig8().rows
+
+    def test_trajectory_flat_in_bag(self, rows):
+        values = {row[1] for row in rows}
+        assert max(values) - min(values) < 1e-9
+
+    def test_nc_decreases_with_bag(self, rows):
+        ncs = [row[2] for row in rows]
+        assert all(a >= b - 1e-9 for a, b in zip(ncs, ncs[1:]))
+
+    def test_nc_strictly_higher_at_smallest_bag(self, rows):
+        assert rows[0][2] > rows[-1][2]
+
+
+class TestFig5Fig6Shapes:
+    """Fig. 5 / Fig. 6 statistics need the full-scale configuration.
+
+    At reduced scale the network is too sparse — per-port contention
+    vanishes and the two methods converge, so these aggregate shapes
+    (like the paper's own) only emerge at industrial scale.  The
+    full-scale comparison is computed once and cached for the session.
+    """
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return industrial_comparison(IndustrialConfigSpec())
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        return industrial_config(IndustrialConfigSpec())
+
+    @staticmethod
+    def nc_wins_share(comparison, network, low, high):
+        in_bin = [
+            p
+            for p in comparison.paths.values()
+            if low <= network.vl(p.vl_name).s_max_bytes < high
+        ]
+        losses = [p for p in in_bin if p.benefit_trajectory_pct <= 0]
+        return len(losses) / len(in_bin)
+
+    def test_fig6_nc_wins_concentrate_at_small_frames(self, comparison, network):
+        small = self.nc_wins_share(comparison, network, 64, 300)
+        large = self.nc_wins_share(comparison, network, 900, 1519)
+        assert small > large
+
+    def test_fig6_trajectory_always_wins_for_largest_frames(self, comparison, network):
+        # the paper: WCNC never wins above ~900 B; allow the synthetic
+        # config a sliver (<1%) in the 900-1200 range, none above
+        assert self.nc_wins_share(comparison, network, 900, 1519) < 0.01
+        assert self.nc_wins_share(comparison, network, 1200, 1519) == 0.0
+
+    def test_fig5_benefit_positive_for_every_bag(self, comparison, network):
+        by_bag = {}
+        for p in comparison.paths.values():
+            by_bag.setdefault(network.vl(p.vl_name).bag_ms, []).append(
+                p.benefit_trajectory_pct
+            )
+        for bag, values in by_bag.items():
+            assert sum(values) / len(values) > 0, f"BAG {bag}"

@@ -1,0 +1,84 @@
+"""Property tests of the static-priority extension on random configs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configs import random_network
+from repro.netcalc import analyze_network_calculus, analyze_static_priority
+from repro.sim import TrafficScenario, simulate
+
+
+def prioritize(network, seed, share=0.4):
+    """Randomly promote a share of VLs to high priority (seeded)."""
+    rng = random.Random(seed)
+    for name in sorted(network.virtual_links):
+        if rng.random() < share:
+            network.replace_virtual_link(network.vl(name).with_priority(1))
+    return network
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_spq_bounds_dominate_simulation(seed):
+    network = prioritize(random_network(seed, n_virtual_links=8), seed)
+    spq = analyze_static_priority(network)
+    observed = simulate(network, TrafficScenario(duration_ms=30))
+    for key, stats in observed.paths.items():
+        assert stats.max_us <= spq.paths[key].total_us + 1e-6, key
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_all_low_equals_fifo(seed):
+    network = random_network(seed, n_virtual_links=8)
+    fifo = analyze_network_calculus(network)
+    spq = analyze_static_priority(network)
+    for key in fifo.paths:
+        assert spq.paths[key].total_us == pytest.approx(fifo.paths[key].total_us)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    share=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=10, deadline=None)
+def test_spq_random_share_sound(seed, share):
+    network = prioritize(random_network(seed, n_virtual_links=6), seed, share)
+    spq = analyze_static_priority(network)
+    observed = simulate(
+        network, TrafficScenario(duration_ms=25, synchronized=False, seed=seed)
+    )
+    for key, stats in observed.paths.items():
+        assert stats.max_us <= spq.paths[key].total_us + 1e-6
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_promotion_cost_bounded_by_blocking(seed):
+    """Promotion can *analytically* hurt a flow on lightly loaded ports
+    (the non-preemptive blocking frame is counted in full while the FIFO
+    aggregate it replaces may be smaller), but never by more than the
+    accumulated blocking terms plus a propagation margin."""
+    network = random_network(seed, n_virtual_links=6)
+    baseline = analyze_static_priority(network)
+    name = sorted(network.virtual_links)[0]
+    promoted_net = network.copy()
+    promoted_net.replace_virtual_link(promoted_net.vl(name).with_priority(1))
+    promoted = analyze_static_priority(promoted_net)
+    for key in baseline.paths:
+        if key[0] != name:
+            continue
+        ports = network.port_path(key[0], key[1])
+        blocking_allowance = sum(
+            max(
+                (
+                    network.vl(other).s_max_bits / network.link_rate(*pid)
+                    for other in network.vls_at_port(pid)
+                    if network.vl(other).priority == 0 and other != name
+                ),
+                default=0.0,
+            )
+            for pid in ports
+        )
+        limit = baseline.paths[key].total_us + blocking_allowance
+        assert promoted.paths[key].total_us <= limit * 1.2 + 1e-6

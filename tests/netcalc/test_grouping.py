@@ -1,0 +1,73 @@
+"""Input-link grouping for Network Calculus."""
+
+import pytest
+
+from repro.curves import LeakyBucket, PiecewiseCurve
+from repro.netcalc.grouping import arrival_groups, group_arrival_curve, port_aggregate_curve
+
+
+def buckets_for(network, port_id):
+    return {
+        name: LeakyBucket(
+            rate=network.vl(name).rate_bits_per_us, burst=network.vl(name).s_max_bits
+        )
+        for name in network.vls_at_port(port_id)
+    }
+
+
+def test_groups_at_fan_in_port(fig2):
+    # S3->e6 receives v1,v2 via S1 and v3,v4 via S2
+    groups = arrival_groups(fig2, ("S3", "e6"))
+    assert groups[("S1", "S3")] == frozenset({"v1", "v2"})
+    assert groups[("S2", "S3")] == frozenset({"v3", "v4"})
+
+
+def test_source_flows_get_singleton_groups(fig2):
+    groups = arrival_groups(fig2, ("e1", "S1"))
+    assert groups == {("source", "v1"): frozenset({"v1"})}
+
+
+def test_group_curve_capped_by_link(fig2):
+    port = ("S3", "e6")
+    buckets = buckets_for(fig2, port)
+    capped = group_arrival_curve(
+        fig2, ("S1", "S3"), {"v1", "v2"}, buckets, grouping=True
+    )
+    # burst limited to one maximal frame (4000 bits), not 8000
+    assert capped(0) == pytest.approx(4000.0)
+
+
+def test_group_curve_plain_sum_without_grouping(fig2):
+    port = ("S3", "e6")
+    buckets = buckets_for(fig2, port)
+    plain = group_arrival_curve(
+        fig2, ("S1", "S3"), {"v1", "v2"}, buckets, grouping=False
+    )
+    assert plain(0) == pytest.approx(8000.0)
+
+
+def test_source_groups_never_capped(fig2):
+    port = ("e1", "S1")
+    buckets = buckets_for(fig2, port)
+    curve = group_arrival_curve(
+        fig2, ("source", "v1"), {"v1"}, buckets, grouping=True
+    )
+    assert curve(0) == pytest.approx(4000.0)
+    assert curve.final_slope == pytest.approx(1.0)
+
+
+def test_aggregate_grouped_below_plain(fig2):
+    port = ("S3", "e6")
+    buckets = buckets_for(fig2, port)
+    grouped, n_grouped = port_aggregate_curve(fig2, port, buckets, grouping=True)
+    plain, n_plain = port_aggregate_curve(fig2, port, buckets, grouping=False)
+    assert n_grouped == n_plain == 2
+    assert plain.dominates(grouped)
+    assert grouped(0) < plain(0)
+
+
+def test_aggregate_keeps_longterm_rate(fig2):
+    port = ("S3", "e6")
+    buckets = buckets_for(fig2, port)
+    grouped, _ = port_aggregate_curve(fig2, port, buckets, grouping=True)
+    assert grouped.final_slope == pytest.approx(4.0)  # 4 VLs x 1 bit/us

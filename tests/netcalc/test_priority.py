@@ -1,0 +1,110 @@
+"""Static-priority (SPQ) Network Calculus analysis."""
+
+import pytest
+
+from repro.curves import PiecewiseCurve, RateLatency
+from repro.errors import UnstableNetworkError
+from repro.netcalc import analyze_network_calculus, analyze_static_priority
+from repro.netcalc.priority import StaticPriorityAnalyzer, leftover_service
+from repro.network import NetworkBuilder
+from repro.sim import TrafficScenario, simulate
+
+
+@pytest.fixture
+def prio_net():
+    """One high VL against two low VLs through a single switch port."""
+    builder = NetworkBuilder("prio").switches("SW").end_systems("a", "b", "c", "d")
+    builder.link("a", "SW").link("b", "SW").link("c", "SW").link("SW", "d")
+    builder.virtual_link(
+        "hi", source="a", destinations=["d"], bag_ms=4, s_max_bytes=200, priority=1
+    )
+    builder.virtual_link("lo1", source="b", destinations=["d"], bag_ms=4, s_max_bytes=1518)
+    builder.virtual_link("lo2", source="c", destinations=["d"], bag_ms=2, s_max_bytes=1000)
+    return builder.build()
+
+
+class TestLeftoverService:
+    def test_affine_high_class(self):
+        beta = RateLatency(100.0, 16.0).curve()
+        alpha_high = PiecewiseCurve.affine(10.0, 2000.0)
+        left = leftover_service(beta, alpha_high)
+        assert left.final_slope == pytest.approx(90.0)
+        assert left(0.0) == 0.0
+        # dead time: solve 100(t-16) = 2000 + 10t -> t = 40
+        assert left(40.0) == pytest.approx(0.0, abs=1e-6)
+        assert left(50.0) == pytest.approx(900.0)
+
+    def test_is_convex_and_increasing(self):
+        beta = RateLatency(100.0, 16.0).curve()
+        alpha_high = PiecewiseCurve.affine(30.0, 5000.0)
+        left = leftover_service(beta, alpha_high)
+        assert left.is_convex()
+        values = [left(t) for t in (0, 10, 50, 100, 500)]
+        assert values == sorted(values)
+
+    def test_saturated_high_class_raises(self):
+        beta = RateLatency(100.0, 0.0).curve()
+        with pytest.raises(UnstableNetworkError):
+            leftover_service(beta, PiecewiseCurve.affine(100.0, 0.0))
+
+
+class TestAgainstFifo:
+    def test_high_priority_gains(self, prio_net):
+        fifo = analyze_network_calculus(prio_net)
+        spq = analyze_static_priority(prio_net)
+        assert spq.bound_us("hi") < fifo.bound_us("hi")
+
+    def test_low_priority_pays(self, prio_net):
+        fifo = analyze_network_calculus(prio_net)
+        spq = analyze_static_priority(prio_net)
+        assert spq.bound_us("lo1") >= fifo.bound_us("lo1") - 1e-9
+
+    def test_degenerates_to_fifo_without_high_traffic(self, fig2):
+        fifo = analyze_network_calculus(fig2)
+        spq = analyze_static_priority(fig2)
+        for key in fifo.paths:
+            assert spq.paths[key].total_us == pytest.approx(fifo.paths[key].total_us)
+
+    def test_blocking_term_present(self, prio_net):
+        # the high bound includes one low maximal frame of blocking:
+        # it cannot be below transmission + latency + blocking
+        spq = analyze_static_priority(prio_net)
+        c_high = prio_net.vl("hi").c_max_us(100.0)
+        blocking = prio_net.vl("lo1").c_max_us(100.0)
+        assert spq.bound_us("hi") >= c_high * 2 + 16.0 + blocking - 1e-6
+
+
+class TestSoundness:
+    def test_bounds_hold_vs_priority_simulation(self, prio_net):
+        spq = analyze_static_priority(prio_net)
+        observed = simulate(prio_net, TrafficScenario(duration_ms=80))
+        for key, stats in observed.paths.items():
+            assert stats.max_us <= spq.paths[key].total_us + 1e-6, key
+
+    def test_high_priority_observed_faster(self, prio_net):
+        observed = simulate(prio_net, TrafficScenario(duration_ms=80))
+        assert observed.max_delay_us("hi") < observed.max_delay_us("lo1")
+
+    def test_result_cached(self, prio_net):
+        analyzer = StaticPriorityAnalyzer(prio_net)
+        assert analyzer.analyze() is analyzer.analyze()
+
+    def test_multihop_priority(self):
+        builder = (
+            NetworkBuilder("mh")
+            .switches("S1", "S2")
+            .end_systems("a", "b", "d")
+            .link("a", "S1")
+            .link("b", "S1")
+            .link("S1", "S2")
+            .link("S2", "d")
+        )
+        builder.virtual_link(
+            "hi", source="a", destinations=["d"], bag_ms=4, s_max_bytes=300, priority=1
+        )
+        builder.virtual_link("lo", source="b", destinations=["d"], bag_ms=4, s_max_bytes=1518)
+        net = builder.build()
+        spq = analyze_static_priority(net)
+        observed = simulate(net, TrafficScenario(duration_ms=80))
+        for key, stats in observed.paths.items():
+            assert stats.max_us <= spq.paths[key].total_us + 1e-6

@@ -1,0 +1,71 @@
+"""NetworkBuilder fluent construction."""
+
+import pytest
+
+from repro.errors import UnstableNetworkError
+from repro.network import NetworkBuilder
+
+
+def test_builds_and_routes_automatically():
+    net = (
+        NetworkBuilder("b")
+        .switches("S1", "S2")
+        .end_systems("a", "d")
+        .link("a", "S1")
+        .link("S1", "S2")
+        .link("S2", "d")
+        .virtual_link("v1", source="a", destinations=["d"], bag_ms=4, s_max_bytes=500)
+        .build()
+    )
+    assert net.vl("v1").paths == (("a", "S1", "S2", "d"),)
+
+
+def test_explicit_paths_respected():
+    net = (
+        NetworkBuilder("b")
+        .switches("S1", "S2")
+        .end_systems("a", "d")
+        .link("a", "S1")
+        .link("S1", "S2")
+        .link("S2", "d")
+        .virtual_link(
+            "v1", source="a", destinations=["d"], bag_ms=4, s_max_bytes=500,
+            paths=[["a", "S1", "S2", "d"]],
+        )
+        .build()
+    )
+    assert net.vl("v1").paths == (("a", "S1", "S2", "d"),)
+
+
+def test_links_batch():
+    net = (
+        NetworkBuilder("b")
+        .switches("S1", "S2")
+        .end_systems("a")
+        .links([("a", "S1"), ("S1", "S2")])
+        .build(validate=False)
+    )
+    assert net.has_link("S1", "S2")
+
+
+def test_builder_switch_latency_applied():
+    net = (
+        NetworkBuilder("b", switch_latency_us=8.0)
+        .switches("S1")
+        .build(validate=False)
+    )
+    assert net.node("S1").technological_latency_us == 8.0
+
+
+def test_build_validates_by_default():
+    builder = NetworkBuilder("b").switches("SW").end_systems(*(f"e{i}" for i in range(12)), "d")
+    for i in range(12):
+        builder.link(f"e{i}", "SW")
+    builder.link("SW", "d")
+    for i in range(12):
+        builder.virtual_link(
+            f"v{i}", source=f"e{i}", destinations=["d"], bag_ms=1, s_max_bytes=1518
+        )
+    with pytest.raises(UnstableNetworkError):
+        builder.build()
+    assert builder.build(validate=False) is not None

@@ -1,0 +1,60 @@
+"""JSON persistence round trips."""
+
+import json
+
+import pytest
+
+from repro.configs import fig1_network, fig2_network
+from repro.errors import ConfigurationError
+from repro.network import network_from_dict, network_from_json, network_to_dict, network_to_json
+
+
+def test_round_trip_fig2(tmp_path, fig2):
+    path = tmp_path / "fig2.json"
+    network_to_json(fig2, path)
+    loaded = network_from_json(path)
+    assert repr(loaded) == repr(fig2)
+    assert loaded.vl("v1").bag_ms == 4
+    assert loaded.vl("v1").paths == fig2.vl("v1").paths
+
+
+def test_round_trip_preserves_rates_and_latencies(tmp_path, fig1):
+    path = tmp_path / "fig1.json"
+    network_to_json(fig1, path)
+    loaded = network_from_json(path)
+    assert loaded.node("S1").technological_latency_us == 16.0
+    assert loaded.link_rate("S1", "S3") == 100.0
+    assert loaded.default_rate == 100.0
+
+
+def test_dict_round_trip_is_stable(fig2):
+    once = network_to_dict(fig2)
+    twice = network_to_dict(network_from_dict(once))
+    assert once == twice
+
+
+def test_json_is_human_oriented_units(fig2):
+    data = network_to_dict(fig2)
+    v1 = next(v for v in data["virtual_links"] if v["name"] == "v1")
+    assert v1["bag_ms"] == 4.0
+    assert v1["s_max_bytes"] == 500.0
+    assert data["rate_mbps"] == 100.0
+
+
+def test_unknown_node_kind_rejected():
+    with pytest.raises(ConfigurationError, match="kind"):
+        network_from_dict(
+            {"name": "x", "nodes": [{"name": "n", "kind": "router"}], "links": []}
+        )
+
+
+def test_missing_field_reported():
+    with pytest.raises(ConfigurationError, match="missing required field"):
+        network_from_dict({"name": "x"})
+
+
+def test_file_ends_with_newline(tmp_path, fig2):
+    path = tmp_path / "out.json"
+    network_to_json(fig2, path)
+    assert path.read_text().endswith("\n")
+    json.loads(path.read_text())  # valid JSON

@@ -1,0 +1,45 @@
+"""Node dataclasses."""
+
+import pytest
+
+from repro.network import EndSystem, Switch
+from repro.network.node import DEFAULT_SWITCH_LATENCY_US
+
+
+def test_end_system_defaults():
+    es = EndSystem(name="e1")
+    assert es.is_end_system
+    assert not es.is_switch
+    assert es.technological_latency_us == 0.0
+
+
+def test_switch_default_latency_is_16us():
+    sw = Switch(name="S1")
+    assert sw.is_switch
+    assert not sw.is_end_system
+    assert sw.technological_latency_us == DEFAULT_SWITCH_LATENCY_US == 16.0
+
+
+def test_switch_custom_latency():
+    assert Switch(name="S1", technological_latency_us=8.0).technological_latency_us == 8.0
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        EndSystem(name="")
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        Switch(name="S1", technological_latency_us=-1.0)
+
+
+def test_nodes_are_frozen():
+    es = EndSystem(name="e1")
+    with pytest.raises(AttributeError):
+        es.name = "e2"  # type: ignore[misc]
+
+
+def test_equality_by_value():
+    assert EndSystem(name="e1") == EndSystem(name="e1")
+    assert Switch(name="S1") != Switch(name="S2")

@@ -1,0 +1,30 @@
+"""OutputPort."""
+
+import pytest
+
+from repro.network import OutputPort
+
+
+def test_port_id():
+    port = OutputPort(owner="S1", target="S3", rate_bits_per_us=100.0, latency_us=16.0)
+    assert port.port_id == ("S1", "S3")
+
+
+def test_transmission_time():
+    port = OutputPort(owner="S1", target="S3", rate_bits_per_us=100.0)
+    assert port.transmission_time_us(4000) == 40.0
+
+
+def test_str_is_arrow():
+    port = OutputPort(owner="e1", target="S1", rate_bits_per_us=100.0)
+    assert str(port) == "e1->S1"
+
+
+def test_rate_must_be_positive():
+    with pytest.raises(ValueError):
+        OutputPort(owner="a", target="b", rate_bits_per_us=0.0)
+
+
+def test_latency_must_be_nonnegative():
+    with pytest.raises(ValueError):
+        OutputPort(owner="a", target="b", rate_bits_per_us=1.0, latency_us=-2.0)

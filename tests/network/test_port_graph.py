@@ -1,0 +1,69 @@
+"""Port precedence graph and topological ordering."""
+
+import pytest
+
+from repro.errors import CyclicRoutingError
+from repro.network import NetworkBuilder
+from repro.network.port_graph import port_successors, topological_port_order
+
+
+def test_successors_fig2(fig2):
+    succ = port_successors(fig2)
+    assert ("S1", "S3") in succ[("e1", "S1")]
+    assert succ[("S3", "e6")] == set()
+
+
+def test_topological_order_respects_paths(fig2):
+    order = topological_port_order(fig2)
+    position = {pid: idx for idx, pid in enumerate(order)}
+    for vl_name, path_index, _ in fig2.flow_paths():
+        ports = fig2.port_path(vl_name, path_index)
+        for earlier, later in zip(ports, ports[1:]):
+            assert position[earlier] < position[later]
+
+
+def test_order_covers_all_used_ports(fig1):
+    assert set(topological_port_order(fig1)) == set(fig1.used_ports())
+
+
+def test_order_is_deterministic(fig1):
+    assert topological_port_order(fig1) == topological_port_order(fig1)
+
+
+def test_cycle_detected():
+    # three switches in a triangle with rotating flows: a genuine
+    # port-graph cycle (S1,S2)->(S2,S3)->(S3,S1)->(S1,S2)
+    builder = (
+        NetworkBuilder("cyc")
+        .switches("S1", "S2", "S3")
+        .end_systems("a", "b", "c", "x", "y", "z")
+        .link("S1", "S2")
+        .link("S2", "S3")
+        .link("S3", "S1")
+        .link("a", "S1")
+        .link("b", "S2")
+        .link("c", "S3")
+        .link("x", "S2")
+        .link("y", "S3")
+        .link("z", "S1")
+    )
+    builder.virtual_link(
+        "v1", source="a", destinations=["y"], bag_ms=4, s_max_bytes=100,
+        paths=[["a", "S1", "S2", "S3", "y"]],
+    )
+    builder.virtual_link(
+        "v2", source="b", destinations=["z"], bag_ms=4, s_max_bytes=100,
+        paths=[["b", "S2", "S3", "S1", "z"]],
+    )
+    builder.virtual_link(
+        "v3", source="c", destinations=["x"], bag_ms=4, s_max_bytes=100,
+        paths=[["c", "S3", "S1", "S2", "x"]],
+    )
+    net = builder.build(validate=False)
+    with pytest.raises(CyclicRoutingError, match="cycle"):
+        topological_port_order(net)
+
+
+def test_empty_network_has_empty_order():
+    net = NetworkBuilder("empty").switches("S1").build(validate=False)
+    assert topological_port_order(net) == []

@@ -1,0 +1,79 @@
+"""Static route computation."""
+
+import pytest
+
+from repro.errors import InvalidTopologyError
+from repro.network import NetworkBuilder
+from repro.network.routing import reachable_end_systems, route_virtual_link, shortest_path
+
+
+@pytest.fixture
+def net():
+    return (
+        NetworkBuilder("r")
+        .switches("S1", "S2", "S3")
+        .end_systems("a", "b", "c")
+        .link("a", "S1")
+        .link("S1", "S2")
+        .link("S2", "S3")
+        .link("S1", "S3")
+        .link("b", "S3")
+        .link("c", "S2")
+        .build(validate=False)
+    )
+
+
+def test_shortest_path_direct(net):
+    assert shortest_path(net, "a", "b") == ("a", "S1", "S3", "b")
+
+
+def test_shortest_path_same_node(net):
+    assert shortest_path(net, "a", "a") == ("a",)
+
+
+def test_deterministic_tie_breaking(net):
+    # two equal-cost routes to c: via S2 directly; result is stable
+    assert shortest_path(net, "a", "c") == shortest_path(net, "a", "c")
+
+
+def test_no_transit_through_end_systems():
+    # b's only route to c must not cut through end system a
+    net = (
+        NetworkBuilder("x")
+        .switches("S1")
+        .end_systems("a", "b", "c")
+        .link("a", "S1")
+        .link("b", "S1")
+        .link("c", "S1")
+        .build(validate=False)
+    )
+    assert shortest_path(net, "b", "c") == ("b", "S1", "c")
+
+
+def test_unreachable_raises():
+    net = (
+        NetworkBuilder("y")
+        .switches("S1", "S2")
+        .end_systems("a", "b")
+        .link("a", "S1")
+        .link("b", "S2")
+        .build(validate=False)
+    )
+    with pytest.raises(InvalidTopologyError, match="no route"):
+        shortest_path(net, "a", "b")
+
+
+def test_route_virtual_link_multicast(net):
+    paths = route_virtual_link(net, "a", ["b", "c"])
+    assert len(paths) == 2
+    assert paths[0][0] == "a" and paths[0][-1] == "b"
+    assert paths[1][-1] == "c"
+
+
+def test_route_virtual_link_requires_destination(net):
+    with pytest.raises(Exception):
+        route_virtual_link(net, "a", [])
+
+
+def test_reachable_end_systems(net):
+    assert reachable_end_systems(net, "a") == ("b", "c")

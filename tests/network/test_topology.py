@@ -1,0 +1,198 @@
+"""Network container: wiring rules, port queries, utilization."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNameError,
+    InvalidTopologyError,
+    InvalidVirtualLinkError,
+    UnknownNodeError,
+)
+from repro.network import Network, VirtualLink
+
+
+@pytest.fixture
+def net():
+    network = Network(name="t")
+    network.add_end_system("e1")
+    network.add_end_system("e2")
+    network.add_switch("S1")
+    network.add_switch("S2")
+    network.add_link("e1", "S1")
+    network.add_link("S1", "S2")
+    network.add_link("S2", "e2")
+    return network
+
+
+def vl(name="v1", paths=(("e1", "S1", "S2", "e2"),), **kw):
+    fields = dict(name=name, source="e1", paths=paths, bag_ms=4, s_max_bytes=500)
+    fields.update(kw)
+    return VirtualLink(**fields)
+
+
+class TestWiring:
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(DuplicateNameError):
+            net.add_switch("S1")
+
+    def test_link_to_unknown_node(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.add_link("e1", "S9")
+
+    def test_self_link_rejected(self, net):
+        with pytest.raises(InvalidTopologyError):
+            net.add_link("S1", "S1")
+
+    def test_parallel_link_rejected(self, net):
+        with pytest.raises(InvalidTopologyError, match="already exists"):
+            net.add_link("S1", "e1")
+
+    def test_es_to_es_link_rejected(self, net):
+        with pytest.raises(InvalidTopologyError, match="exactly one switch"):
+            net.add_link("e1", "e2")
+
+    def test_second_es_link_rejected(self, net):
+        with pytest.raises(InvalidTopologyError, match="already has a link"):
+            net.add_link("e1", "S2")
+
+    def test_nonpositive_rate_rejected(self, net):
+        net.add_end_system("e3")
+        with pytest.raises(ValueError):
+            net.add_link("e3", "S1", rate_bits_per_us=0.0)
+
+    def test_has_link_symmetric(self, net):
+        assert net.has_link("e1", "S1")
+        assert net.has_link("S1", "e1")
+        assert not net.has_link("e1", "S2")
+
+    def test_link_rate_default(self, net):
+        assert net.link_rate("S1", "S2") == 100.0
+
+    def test_link_rate_override(self):
+        network = Network()
+        network.add_switch("S1")
+        network.add_switch("S2")
+        network.add_link("S1", "S2", rate_bits_per_us=1000.0)
+        assert network.link_rate("S2", "S1") == 1000.0
+
+    def test_neighbors(self, net):
+        assert net.neighbors("S1") == {"e1", "S2"}
+
+    def test_links_listing(self, net):
+        assert len(net.links()) == 3
+
+
+class TestVirtualLinks:
+    def test_add_and_lookup(self, net):
+        net.add_virtual_link(vl())
+        assert net.vl("v1").bag_ms == 4
+
+    def test_duplicate_vl_rejected(self, net):
+        net.add_virtual_link(vl())
+        with pytest.raises(DuplicateNameError):
+            net.add_virtual_link(vl())
+
+    def test_source_must_be_end_system(self, net):
+        bad = VirtualLink(
+            name="vx", source="S1", paths=(("S1", "S2", "e2"),), bag_ms=4, s_max_bytes=500
+        )
+        with pytest.raises(InvalidVirtualLinkError, match="mono-transmitter"):
+            net.add_virtual_link(bad)
+
+    def test_destination_must_be_end_system(self, net):
+        with pytest.raises(InvalidVirtualLinkError, match="not an end system"):
+            net.add_virtual_link(vl(paths=(("e1", "S1", "S2"),)))
+
+    def test_intermediate_must_be_switch(self, net):
+        net.add_end_system("e3")
+        net.add_link("e3", "S2")
+        with pytest.raises(InvalidVirtualLinkError):
+            net.add_virtual_link(vl(paths=(("e1", "S1", "S2", "e2", "e3"),)))
+
+    def test_path_must_follow_links(self, net):
+        with pytest.raises(InvalidVirtualLinkError, match="non-existent link"):
+            net.add_virtual_link(vl(paths=(("e1", "S2", "e2"),)))
+
+    def test_unknown_node_in_path(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.add_virtual_link(vl(paths=(("e1", "S1", "S9", "e2"),)))
+
+    def test_replace_virtual_link(self, net):
+        net.add_virtual_link(vl())
+        net.replace_virtual_link(net.vl("v1").with_bag_ms(8))
+        assert net.vl("v1").bag_ms == 8
+
+    def test_replace_unknown_rejected(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.replace_virtual_link(vl(name="nope"))
+
+
+class TestPortQueries:
+    def test_port_path(self, net):
+        net.add_virtual_link(vl())
+        assert net.port_path("v1") == (("e1", "S1"), ("S1", "S2"), ("S2", "e2"))
+
+    def test_port_path_bad_index(self, net):
+        net.add_virtual_link(vl())
+        with pytest.raises(InvalidVirtualLinkError, match="out of range"):
+            net.port_path("v1", 3)
+
+    def test_vls_at_port(self, net):
+        net.add_virtual_link(vl())
+        assert net.vls_at_port(("S1", "S2")) == frozenset({"v1"})
+        assert net.vls_at_port(("S2", "S1")) == frozenset()
+
+    def test_multicast_counted_once_per_port(self, net):
+        net.add_end_system("e3")
+        net.add_link("e3", "S2")
+        multicast = vl(paths=(("e1", "S1", "S2", "e2"), ("e1", "S1", "S2", "e3")))
+        net.add_virtual_link(multicast)
+        assert net.vls_at_port(("S1", "S2")) == frozenset({"v1"})
+        assert len(net.flow_paths()) == 2
+
+    def test_upstream_port(self, net):
+        net.add_virtual_link(vl())
+        assert net.upstream_port("v1", ("S1", "S2")) == ("e1", "S1")
+        assert net.upstream_port("v1", ("e1", "S1")) is None
+
+    def test_upstream_port_unrelated_port_raises(self, net):
+        net.add_virtual_link(vl())
+        with pytest.raises(InvalidVirtualLinkError):
+            net.upstream_port("v1", ("S2", "S1"))
+
+    def test_utilization(self, net):
+        net.add_virtual_link(vl())  # 1 bit/us on 100 bit/us links
+        assert net.port_utilization(("S1", "S2")) == pytest.approx(0.01)
+        assert net.max_utilization() == pytest.approx(0.01)
+
+    def test_max_utilization_empty(self, net):
+        assert net.max_utilization() == 0.0
+
+    def test_used_ports_sorted(self, net):
+        net.add_virtual_link(vl())
+        assert net.used_ports() == sorted(net.used_ports())
+
+
+class TestMisc:
+    def test_copy_is_independent(self, net):
+        net.add_virtual_link(vl())
+        dup = net.copy()
+        dup.add_virtual_link(vl(name="v2"))
+        assert "v2" not in net.virtual_links
+        assert "v1" in dup.virtual_links
+
+    def test_repr_counts(self, net):
+        net.add_virtual_link(vl())
+        assert "1 VLs / 1 paths" in repr(net)
+
+    def test_end_systems_and_switches_sorted(self, net):
+        assert [n.name for n in net.end_systems()] == ["e1", "e2"]
+        assert [n.name for n in net.switches()] == ["S1", "S2"]
+
+    def test_unknown_lookups(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.node("zz")
+        with pytest.raises(UnknownNodeError):
+            net.vl("zz")
+        with pytest.raises(UnknownNodeError):
+            net.link_rate("e1", "e2")

@@ -1,0 +1,55 @@
+"""Conservation laws of the simulator (nothing lost, nothing invented)."""
+
+import pytest
+
+from repro.sim import NetworkSimulation, TrafficScenario, simulate
+
+
+def test_every_released_frame_delivered_unicast(fig2):
+    scenario = TrafficScenario(duration_ms=40)
+    result = simulate(fig2, scenario)
+    # 10 frames per VL over 40 ms at BAG 4 ms
+    for key, stats in result.paths.items():
+        assert stats.n_frames == 10, key
+
+
+def test_multicast_duplicates_exactly_once_per_destination(fig1):
+    sim = NetworkSimulation(fig1)
+    sim.release_frame("v6", time_us=0.0)
+    sim.release_frame("v6", time_us=8000.0)
+    result = sim.run(until_us=20000.0)
+    assert result.paths[("v6", 0)].n_frames == 2
+    assert result.paths[("v6", 1)].n_frames == 2
+
+
+def test_transmitted_bits_match_traffic(fig2):
+    """Each ES port transmits exactly what its VL released."""
+    sim = NetworkSimulation(fig2)
+    for i in range(4):
+        sim.release_frame("v1", time_us=i * 4000.0)
+    sim.run(until_us=30000.0)
+    port = sim._ports[("e1", "S1")]
+    assert port.transmitted_bits == pytest.approx(4 * 4000.0)
+    assert port.backlog_bits == pytest.approx(0.0)
+
+
+def test_no_frame_outlives_the_drain(fig1):
+    """After the drain window every queue is empty."""
+    result = simulate(fig1, TrafficScenario(duration_ms=30))
+    total_frames = sum(s.n_frames for s in result.paths.values())
+    assert total_frames > 0
+    assert all(peak >= 0 for peak in result.peak_backlog_bits.values())
+
+
+def test_delays_never_below_physical_floor(fig2):
+    from repro.core import path_floor_us
+
+    result = simulate(fig2, TrafficScenario(duration_ms=40))
+    for (vl, idx), stats in result.paths.items():
+        assert stats.min_us >= path_floor_us(fig2, vl, idx) - 1e-6
+
+
+def test_mean_between_min_and_max(fig1):
+    result = simulate(fig1, TrafficScenario(duration_ms=40, synchronized=False, seed=1))
+    for stats in result.paths.values():
+        assert stats.min_us <= stats.mean_us <= stats.max_us

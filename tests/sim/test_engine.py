@@ -1,0 +1,85 @@
+"""Discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(5.0, lambda: log.append("b"))
+    sim.schedule(1.0, lambda: log.append("a"))
+    sim.schedule(9.0, lambda: log.append("c"))
+    sim.run(until=10.0)
+    assert log == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    log = []
+    for tag in "abc":
+        sim.schedule(3.0, lambda t=tag: log.append(t))
+    sim.run(until=3.0)
+    assert log == ["a", "b", "c"]
+
+
+def test_clock_advances():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run(until=10.0)
+    assert seen == [2.5]
+    assert sim.now == 10.0
+
+
+def test_events_after_horizon_not_run():
+    sim = Simulator()
+    log = []
+    sim.schedule(11.0, lambda: log.append("late"))
+    sim.run(until=10.0)
+    assert log == []
+    sim.run(until=12.0)
+    assert log == ["late"]
+
+
+def test_schedule_in_relative():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: sim.schedule_in(2.0, lambda: log.append(sim.now)))
+    sim.run(until=5.0)
+    assert log == [3.0]
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: sim.schedule(1.0, lambda: None))
+    with pytest.raises(ValueError, match="backwards"):
+        sim.run(until=10.0)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule_in(-1.0, lambda: None)
+
+
+def test_processed_events_counted():
+    sim = Simulator()
+    for t in range(5):
+        sim.schedule(float(t), lambda: None)
+    sim.run(until=10.0)
+    assert sim.processed_events == 5
+
+
+def test_cascading_events():
+    sim = Simulator()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            sim.schedule_in(1.0, lambda: chain(n + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run(until=10.0)
+    assert log == [0, 1, 2, 3]

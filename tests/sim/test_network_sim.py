@@ -1,0 +1,73 @@
+"""Network-level simulation wiring."""
+
+import pytest
+
+from repro.sim import NetworkSimulation
+
+
+class TestLoneFrame:
+    def test_pipeline_delay_fig2(self, fig2):
+        sim = NetworkSimulation(fig2)
+        sim.release_frame("v1", time_us=0.0)
+        result = sim.run(until_us=1000.0)
+        # 3 transmissions x 40 us + 2 switch latencies x 16 us
+        assert result.max_delay_us("v1") == pytest.approx(152.0)
+
+    def test_release_offset_preserved(self, fig2):
+        sim = NetworkSimulation(fig2)
+        sim.release_frame("v1", time_us=500.0)
+        result = sim.run(until_us=2000.0)
+        assert result.max_delay_us("v1") == pytest.approx(152.0)
+
+
+class TestContention:
+    def test_two_frames_queue_at_switch(self, fig2):
+        sim = NetworkSimulation(fig2)
+        sim.release_frame("v1", time_us=0.0)
+        sim.release_frame("v2", time_us=0.0)
+        result = sim.run(until_us=1000.0)
+        delays = sorted(
+            [result.max_delay_us("v1"), result.max_delay_us("v2")]
+        )
+        assert delays[0] == pytest.approx(152.0)
+        # the loser waits one frame time at S1
+        assert delays[1] == pytest.approx(192.0)
+
+
+class TestMulticast:
+    def test_duplicated_to_every_destination(self, fig1):
+        sim = NetworkSimulation(fig1)
+        sim.release_frame("v6", time_us=0.0)
+        result = sim.run(until_us=5000.0)
+        assert ("v6", 0) in result.paths
+        assert ("v6", 1) in result.paths
+        assert result.paths[("v6", 0)].n_frames == 1
+        assert result.paths[("v6", 1)].n_frames == 1
+
+
+class TestContract:
+    def test_oversized_frame_rejected(self, fig2):
+        sim = NetworkSimulation(fig2)
+        with pytest.raises(ValueError, match="contract"):
+            sim.release_frame("v1", time_us=0.0, size_bits=99999.0)
+
+    def test_undersized_frame_rejected(self, fig2):
+        sim = NetworkSimulation(fig2)
+        # fig2 VLs have s_min = s_max = 500 B
+        with pytest.raises(ValueError, match="contract"):
+            sim.release_frame("v1", time_us=0.0, size_bits=512.0)
+
+    def test_default_size_is_s_max(self, fig2):
+        sim = NetworkSimulation(fig2)
+        sim.release_frame("v1", time_us=0.0)
+        result = sim.run(until_us=1000.0)
+        assert result.paths[("v1", 0)].n_frames == 1
+
+
+class TestBacklog:
+    def test_peak_backlog_reported(self, fig2):
+        sim = NetworkSimulation(fig2)
+        for name in ("v1", "v2", "v3", "v4"):
+            sim.release_frame(name, time_us=0.0)
+        result = sim.run(until_us=2000.0)
+        assert result.peak_backlog_bits[("S3", "e6")] >= 4000.0

@@ -1,0 +1,81 @@
+"""Simulated FIFO output ports."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.frames import Frame
+from repro.sim.ports import SimOutputPort
+
+
+def frame(name="v", seq=0, bits=4000.0, release=0.0):
+    return Frame(vl_name=name, sequence=seq, size_bits=bits, release_time_us=release)
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    delivered = []
+    port = SimOutputPort(sim, rate_bits_per_us=100.0, on_delivered=lambda f, t: delivered.append((f, t)))
+    return sim, port, delivered
+
+
+def test_transmission_time(setup):
+    sim, port, delivered = setup
+    sim.schedule(0.0, lambda: port.enqueue(frame()))
+    sim.run(until=100.0)
+    assert delivered[0][1] == pytest.approx(40.0)
+
+
+def test_fifo_order_and_serialization(setup):
+    sim, port, delivered = setup
+    sim.schedule(0.0, lambda: port.enqueue(frame("a", bits=4000)))
+    sim.schedule(0.0, lambda: port.enqueue(frame("b", bits=2000)))
+    sim.run(until=100.0)
+    assert [f.vl_name for f, _ in delivered] == ["a", "b"]
+    assert delivered[1][1] == pytest.approx(60.0)  # 40 + 20
+
+
+def test_non_preemption(setup):
+    sim, port, delivered = setup
+    sim.schedule(0.0, lambda: port.enqueue(frame("long", bits=10000)))
+    sim.schedule(1.0, lambda: port.enqueue(frame("short", bits=100)))
+    sim.run(until=200.0)
+    assert delivered[0][0].vl_name == "long"
+    assert delivered[1][1] == pytest.approx(101.0)
+
+
+def test_idle_port_restarts(setup):
+    sim, port, delivered = setup
+    sim.schedule(0.0, lambda: port.enqueue(frame("a")))
+    sim.schedule(100.0, lambda: port.enqueue(frame("b")))
+    sim.run(until=200.0)
+    assert delivered[1][1] == pytest.approx(140.0)
+
+
+def test_peak_backlog_tracked(setup):
+    sim, port, _ = setup
+    sim.schedule(0.0, lambda: port.enqueue(frame("a", bits=4000)))
+    sim.schedule(0.0, lambda: port.enqueue(frame("b", bits=4000)))
+    sim.run(until=100.0)
+    assert port.peak_backlog_bits == pytest.approx(8000.0)
+    assert port.backlog_bits == 0.0
+
+
+def test_utilization_measured(setup):
+    sim, port, _ = setup
+    sim.schedule(0.0, lambda: port.enqueue(frame(bits=4000)))
+    sim.run(until=80.0)
+    assert port.utilization() == pytest.approx(0.5)
+    assert port.transmitted_bits == 4000.0
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ValueError):
+        SimOutputPort(Simulator(), rate_bits_per_us=0.0, on_delivered=lambda f, t: None)
+
+
+def test_frame_validation():
+    with pytest.raises(ValueError):
+        frame(bits=0.0)
+    with pytest.raises(ValueError):
+        frame(release=-1.0)

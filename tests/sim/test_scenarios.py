@@ -1,0 +1,76 @@
+"""Traffic scenarios and the simulate() driver."""
+
+import random
+
+import pytest
+
+from repro.sim import NetworkSimulation, TrafficScenario, simulate
+from repro.sim.regulator import schedule_vl_traffic
+
+
+class TestRegulator:
+    def test_periodic_count(self, fig2):
+        sim = NetworkSimulation(fig2)
+        n = schedule_vl_traffic(sim, "v1", horizon_us=40000.0)
+        assert n == 10  # every 4 ms over 40 ms
+
+    def test_offset_shifts_first_release(self, fig2):
+        sim = NetworkSimulation(fig2)
+        n = schedule_vl_traffic(sim, "v1", horizon_us=40000.0, offset_us=3999.0)
+        assert n == 10  # 3999, 7999, ... 39999
+
+    def test_negative_offset_rejected(self, fig2):
+        sim = NetworkSimulation(fig2)
+        with pytest.raises(ValueError):
+            schedule_vl_traffic(sim, "v1", horizon_us=1000.0, offset_us=-1.0)
+
+    def test_sporadic_respects_bag(self, fig2):
+        sim = NetworkSimulation(fig2)
+        n = schedule_vl_traffic(
+            sim, "v1", horizon_us=40000.0, periodic=False, rng=random.Random(1)
+        )
+        assert 1 <= n <= 10  # gaps are at least one BAG
+
+    def test_random_modes_require_rng(self, fig2):
+        sim = NetworkSimulation(fig2)
+        with pytest.raises(ValueError, match="rng"):
+            schedule_vl_traffic(sim, "v1", horizon_us=1000.0, periodic=False)
+        with pytest.raises(ValueError, match="rng"):
+            schedule_vl_traffic(sim, "v1", horizon_us=1000.0, max_size=False)
+
+
+class TestScenario:
+    def test_duration_validated(self):
+        with pytest.raises(ValueError):
+            TrafficScenario(duration_ms=0.0)
+
+    def test_simulate_records_every_path(self, fig2):
+        result = simulate(fig2, TrafficScenario(duration_ms=20))
+        assert set(result.paths) == {(v, 0) for v in fig2.virtual_links}
+
+    def test_synchronized_run_is_deterministic(self, fig2):
+        a = simulate(fig2, TrafficScenario(duration_ms=20))
+        b = simulate(fig2, TrafficScenario(duration_ms=20))
+        assert {k: s.max_us for k, s in a.paths.items()} == {
+            k: s.max_us for k, s in b.paths.items()
+        }
+
+    def test_seeded_random_run_is_deterministic(self, fig2):
+        scenario = TrafficScenario(duration_ms=20, synchronized=False, seed=5)
+        a = simulate(fig2, scenario)
+        b = simulate(fig2, scenario)
+        assert {k: s.max_us for k, s in a.paths.items()} == {
+            k: s.max_us for k, s in b.paths.items()
+        }
+
+    def test_different_seeds_differ(self, fig2):
+        a = simulate(fig2, TrafficScenario(duration_ms=20, synchronized=False, seed=1))
+        b = simulate(fig2, TrafficScenario(duration_ms=20, synchronized=False, seed=2))
+        assert {k: s.max_us for k, s in a.paths.items()} != {
+            k: s.max_us for k, s in b.paths.items()
+        }
+
+    def test_synchronized_is_worst_among_scenarios(self, fig2):
+        sync = simulate(fig2, TrafficScenario(duration_ms=50))
+        desync = simulate(fig2, TrafficScenario(duration_ms=50, synchronized=False, seed=3))
+        assert sync.worst_observed().max_us >= desync.worst_observed().max_us

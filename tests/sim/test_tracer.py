@@ -1,0 +1,64 @@
+"""Delay tracer and simulation results."""
+
+import pytest
+
+from repro.sim import DelayTracer
+from repro.sim.tracer import SimulationResult
+
+
+def test_aggregates():
+    tracer = DelayTracer()
+    for delay in (10.0, 30.0, 20.0):
+        tracer.record("v1", 0, delay)
+    stats = tracer.stats()[("v1", 0)]
+    assert stats.n_frames == 3
+    assert stats.min_us == 10.0
+    assert stats.max_us == 30.0
+    assert stats.mean_us == pytest.approx(20.0)
+    assert stats.jitter_us == pytest.approx(20.0)
+
+
+def test_paths_tracked_separately():
+    tracer = DelayTracer()
+    tracer.record("v1", 0, 10.0)
+    tracer.record("v1", 1, 99.0)
+    stats = tracer.stats()
+    assert stats[("v1", 0)].max_us == 10.0
+    assert stats[("v1", 1)].max_us == 99.0
+
+
+def test_sample_retention_bounded():
+    tracer = DelayTracer(keep_samples=2)
+    for delay in (1.0, 2.0, 3.0):
+        tracer.record("v", 0, delay)
+    assert tracer.samples[("v", 0)] == [1.0, 2.0]
+
+
+def test_no_samples_by_default():
+    tracer = DelayTracer()
+    tracer.record("v", 0, 1.0)
+    assert tracer.samples == {}
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        DelayTracer().record("v", 0, -1.0)
+
+
+def test_negative_keep_rejected():
+    with pytest.raises(ValueError):
+        DelayTracer(keep_samples=-1)
+
+
+def test_result_accessors():
+    tracer = DelayTracer()
+    tracer.record("v1", 0, 10.0)
+    tracer.record("v2", 0, 50.0)
+    result = SimulationResult(duration_us=1000.0, paths=tracer.stats())
+    assert result.max_delay_us("v2") == 50.0
+    assert result.worst_observed().vl_name == "v2"
+
+
+def test_empty_result_worst_raises():
+    with pytest.raises(ValueError):
+        SimulationResult(duration_us=1.0).worst_observed()

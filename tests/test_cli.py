@@ -1,0 +1,127 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.configs import fig2_network
+from repro.network import network_to_json
+
+
+@pytest.fixture
+def fig2_json(tmp_path):
+    path = tmp_path / "fig2.json"
+    network_to_json(fig2_network(), path)
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_and_validate(tmp_path, capsys):
+    out = str(tmp_path / "net.json")
+    assert main(["generate", "fig2", "-o", out]) == 0
+    data = json.loads((tmp_path / "net.json").read_text())
+    assert data["name"] == "fig2"
+    assert main(["validate", out]) == 0
+    stdout = capsys.readouterr().out
+    assert "OK" in stdout
+
+
+def test_generate_random(tmp_path):
+    out = str(tmp_path / "r.json")
+    assert main(["generate", "random", "-o", out, "--seed", "3", "--vls", "10"]) == 0
+    assert json.loads((tmp_path / "r.json").read_text())["virtual_links"]
+
+
+def test_analyze_prints_bounds_and_stats(fig2_json, capsys):
+    assert main(["analyze", fig2_json]) == 0
+    out = capsys.readouterr().out
+    assert "v1[0]" in out
+    assert "Trajectory/WCNC" in out
+
+
+def test_analyze_top_limits_rows(fig2_json, capsys):
+    main(["analyze", fig2_json, "--top", "2"])
+    out = capsys.readouterr().out
+    assert out.count("[0]") == 2
+
+
+def test_analyze_serialization_mode(fig2_json, capsys):
+    assert main(["analyze", fig2_json, "--serialization", "safe"]) == 0
+    safe_out = capsys.readouterr().out
+    assert main(["analyze", fig2_json, "--serialization", "paper"]) == 0
+    paper_out = capsys.readouterr().out
+    assert safe_out != paper_out
+
+
+def test_simulate_reports_no_violations(fig2_json, capsys):
+    assert main(["simulate", fig2_json, "--duration-ms", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "0 bound violations" in out
+
+
+def test_experiment_fig3_4(capsys):
+    assert main(["experiment", "fig3_4"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3_4" in out and "40.00" in out
+
+
+def test_experiment_with_reduced_vls(capsys):
+    assert main(["experiment", "table1", "--vls", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "Trajectory/WCNC" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_validate_invalid_network_exits_nonzero(tmp_path, capsys):
+    # wire an ES twice by editing the JSON directly
+    net = fig2_network()
+    from repro.network import network_to_dict
+
+    data = network_to_dict(net)
+    data["virtual_links"] = []
+    data["links"].append({"a": "e1", "b": "S2", "rate_mbps": 100.0})
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(data))
+    # the loader itself refuses the second ES link
+    from repro.errors import InvalidTopologyError
+
+    with pytest.raises(InvalidTopologyError):
+        main(["validate", str(path)])
+
+
+def test_analyze_jitter_flag(fig2_json, capsys):
+    assert main(["analyze", fig2_json, "--jitter"]) == 0
+    out = capsys.readouterr().out
+    assert "jitter (us)" in out
+
+
+def test_experiment_csv_export(tmp_path, capsys):
+    csv_path = str(tmp_path / "fig3_4.csv")
+    assert main(["experiment", "fig3_4", "--csv", csv_path]) == 0
+    content = (tmp_path / "fig3_4.csv").read_text()
+    assert content.startswith("VL,")
+    assert "v1,272.0,232.0,40.0" in content
+    assert "# " in content  # notes preserved as comments
+
+
+def test_report_command_stdout(fig2_json, capsys):
+    assert main(["report", fig2_json]) == 0
+    out = capsys.readouterr().out
+    assert "Output-port dimensioning" in out
+    assert "Method comparison" in out
+
+
+def test_report_command_to_file(fig2_json, tmp_path, capsys):
+    out_path = str(tmp_path / "report.txt")
+    assert main(["report", fig2_json, "-o", out_path, "--top", "2"]) == 0
+    text = (tmp_path / "report.txt").read_text()
+    assert "Top 2 critical paths" in text

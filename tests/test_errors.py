@@ -1,0 +1,40 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_configuration_family():
+    for exc in (
+        errors.DuplicateNameError,
+        errors.UnknownNodeError,
+        errors.InvalidTopologyError,
+        errors.InvalidVirtualLinkError,
+    ):
+        assert issubclass(exc, errors.ConfigurationError)
+
+
+def test_analysis_family():
+    for exc in (
+        errors.CyclicRoutingError,
+        errors.UnstableNetworkError,
+        errors.ConvergenceError,
+    ):
+        assert issubclass(exc, errors.AnalysisError)
+
+
+def test_families_are_disjoint():
+    assert not issubclass(errors.ConfigurationError, errors.AnalysisError)
+    assert not issubclass(errors.AnalysisError, errors.ConfigurationError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.UnstableNetworkError("port overloaded")

@@ -1,0 +1,49 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_bytes_to_bits():
+    assert units.bytes_to_bits(500) == 4000
+
+
+def test_bits_to_bytes_roundtrip():
+    assert units.bits_to_bytes(units.bytes_to_bits(1518)) == 1518
+
+
+def test_ms_to_us():
+    assert units.ms_to_us(4) == 4000.0
+
+
+def test_us_to_ms_roundtrip():
+    assert units.us_to_ms(units.ms_to_us(128)) == 128
+
+
+def test_100_mbps_is_100_bits_per_us():
+    assert units.mbps_to_bits_per_us(100) == 100.0
+    assert units.MBPS_100 == 100.0
+
+
+def test_rate_conversion_roundtrip():
+    assert units.bits_per_us_to_mbps(units.mbps_to_bits_per_us(12.5)) == 12.5
+
+
+def test_transmission_time_paper_example():
+    # 4000-bit frame at 100 Mb/s takes 40 us (paper Sec. II-B)
+    assert units.transmission_time_us(4000, 100.0) == 40.0
+
+
+def test_transmission_time_max_ethernet_frame():
+    assert units.transmission_time_us(units.bytes_to_bits(1518), 100.0) == pytest.approx(121.44)
+
+
+def test_transmission_time_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time_us(4000, 0.0)
+
+
+def test_transmission_time_rejects_negative_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time_us(4000, -1.0)

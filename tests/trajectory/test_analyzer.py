@@ -1,0 +1,124 @@
+"""Trajectory analyzer end-to-end behaviour."""
+
+import pytest
+
+from repro.errors import UnstableNetworkError
+from repro.network import NetworkBuilder
+from repro.trajectory import TrajectoryAnalyzer, analyze_trajectory
+
+
+class TestLoneFlow:
+    @pytest.fixture
+    def lone(self):
+        return (
+            NetworkBuilder("lone")
+            .switches("S1", "S2")
+            .end_systems("a", "d")
+            .link("a", "S1")
+            .link("S1", "S2")
+            .link("S2", "d")
+            .virtual_link(
+                "v", source="a", destinations=["d"], bag_ms=4,
+                s_max_bytes=500, s_min_bytes=500,
+            )
+            .build()
+        )
+
+    def test_exact_pipeline_delay(self, lone):
+        # 3 transmissions of 40 us + 2 switch latencies of 16 us
+        result = analyze_trajectory(lone)
+        assert result.bound_us("v") == pytest.approx(3 * 40.0 + 2 * 16.0)
+
+    def test_decomposition_adds_up(self, lone):
+        path = analyze_trajectory(lone).paths[("v", 0)]
+        assert path.total_us == pytest.approx(
+            path.workload_us
+            + path.transition_us
+            + path.latency_us
+            - path.serialization_gain_us
+            - path.critical_instant_us
+        )
+        assert path.n_competitors == 0
+        assert path.critical_instant_us == 0.0
+
+
+class TestFig2:
+    def test_paper_worked_example(self, fig2):
+        enhanced = analyze_trajectory(fig2)
+        plain = analyze_trajectory(fig2, serialization=False)
+        # the numbers this library reproduces for the Sec. II-B scenario
+        assert plain.bound_us("v1") == pytest.approx(272.0)
+        assert enhanced.bound_us("v1") == pytest.approx(232.0)
+
+    def test_symmetry(self, fig2):
+        result = analyze_trajectory(fig2)
+        assert result.bound_us("v1") == pytest.approx(result.bound_us("v2"))
+        assert result.bound_us("v3") == pytest.approx(result.bound_us("v4"))
+
+    def test_workload_counts_all_sharing_flows(self, fig2):
+        path = analyze_trajectory(fig2).paths[("v1", 0)]
+        assert path.n_competitors == 3  # v2, v3, v4 (v5 exits at e7)
+
+    def test_transition_terms(self, fig2):
+        path = analyze_trajectory(fig2).paths[("v1", 0)]
+        # two transitions, each bounded by the biggest met frame (40 us)
+        assert path.transition_us == pytest.approx(80.0)
+        assert path.latency_us == pytest.approx(32.0)
+
+    def test_own_bag_does_not_matter(self, fig2):
+        # Fig. 8's flat trajectory: same bound for any BAG of v1
+        baseline = analyze_trajectory(fig2).bound_us("v1")
+        for bag in (1, 2, 16, 128):
+            net = fig2.copy()
+            net.replace_virtual_link(net.vl("v1").with_bag_ms(bag))
+            assert analyze_trajectory(net).bound_us("v1") == pytest.approx(baseline)
+
+    def test_result_cached(self, fig2):
+        analyzer = TrajectoryAnalyzer(fig2)
+        assert analyzer.analyze() is analyzer.analyze()
+
+
+class TestRefinement:
+    def test_refinement_never_loosens(self, fig1):
+        refined = analyze_trajectory(fig1, refine_smax=True)
+        single = analyze_trajectory(fig1, refine_smax=False)
+        for key in refined.paths:
+            assert refined.paths[key].total_us <= single.paths[key].total_us + 1e-6
+
+    def test_iteration_count_reported(self, fig1):
+        refined = analyze_trajectory(fig1, refine_smax=True)
+        single = analyze_trajectory(fig1, refine_smax=False)
+        assert single.refinement_iterations == 1
+        assert refined.refinement_iterations >= 1
+
+    def test_max_refinements_validated(self, fig1):
+        with pytest.raises(ValueError):
+            TrajectoryAnalyzer(fig1, max_refinements=0)
+
+
+class TestStability:
+    def test_unstable_raises(self):
+        builder = NetworkBuilder("u").switches("SW").end_systems(
+            *(f"e{i}" for i in range(11)), "d"
+        )
+        for i in range(11):
+            builder.link(f"e{i}", "SW")
+        builder.link("SW", "d")
+        for i in range(11):
+            builder.virtual_link(
+                f"v{i}", source=f"e{i}", destinations=["d"], bag_ms=1, s_max_bytes=1518
+            )
+        with pytest.raises(UnstableNetworkError):
+            analyze_trajectory(builder.build(validate=False))
+
+
+class TestMulticast:
+    def test_each_path_bounded(self, fig1):
+        result = analyze_trajectory(fig1)
+        assert ("v6", 0) in result.paths and ("v6", 1) in result.paths
+
+    def test_worst_path_accessor(self, fig1):
+        result = analyze_trajectory(fig1)
+        assert result.worst_path().total_us == max(
+            p.total_us for p in result.paths.values()
+        )

@@ -1,0 +1,63 @@
+"""Trajectory result diagnostics are coherent."""
+
+import pytest
+
+from repro.trajectory import analyze_trajectory
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.configs import fig1_network
+
+    return analyze_trajectory(fig1_network())
+
+
+def test_busy_period_positive(result):
+    for path in result.paths.values():
+        assert path.busy_period_us > 0
+
+
+def test_candidates_at_least_one(result):
+    for path in result.paths.values():
+        assert path.n_candidates >= 1
+
+
+def test_critical_instant_inside_busy_period(result):
+    for path in result.paths.values():
+        assert 0.0 <= path.critical_instant_us < path.busy_period_us
+
+
+def test_decomposition_identity(result):
+    for path in result.paths.values():
+        assert path.total_us == pytest.approx(
+            path.workload_us
+            + path.transition_us
+            + path.latency_us
+            - path.serialization_gain_us
+            - path.critical_instant_us
+        )
+
+
+def test_workload_includes_own_frame(result):
+    from repro.configs import fig1_network
+
+    network = fig1_network()
+    for (vl_name, _idx), path in result.paths.items():
+        own_c = network.vl(vl_name).c_max_us(network.default_rate)
+        assert path.workload_us >= own_c - 1e-9
+
+
+def test_latency_counts_crossed_switches(result):
+    for path in result.paths.values():
+        n_switches = len(path.node_path) - 2
+        assert path.latency_us == pytest.approx(16.0 * n_switches)
+
+
+def test_competitors_nonnegative(result):
+    for path in result.paths.values():
+        assert path.n_competitors >= 0
+
+
+def test_path_bounds_sorted_accessor(result):
+    listed = result.path_bounds()
+    assert [(p.vl_name, p.path_index) for p in listed] == sorted(result.paths)

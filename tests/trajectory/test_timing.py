@@ -1,0 +1,64 @@
+"""Smin / Smax arrival-time maps."""
+
+import pytest
+
+from repro.netcalc import analyze_network_calculus
+from repro.trajectory.timing import compute_smin, seed_smax_from_netcalc, tree_prefixes
+
+
+def test_tree_prefixes_fig2(fig2):
+    prefixes = tree_prefixes(fig2)
+    assert prefixes[("v1", ("e1", "S1"))] == (("e1", "S1"),)
+    assert prefixes[("v1", ("S3", "e6"))] == (
+        ("e1", "S1"),
+        ("S1", "S3"),
+        ("S3", "e6"),
+    )
+
+
+def test_tree_prefixes_multicast_unique(fig1):
+    prefixes = tree_prefixes(fig1)
+    # v6 paths share e1->S1; the prefix at the shared port is unique
+    assert prefixes[("v6", ("e1", "S1"))] == (("e1", "S1"),)
+
+
+def test_smin_first_port_is_zero(fig2):
+    smin = compute_smin(fig2)
+    for name in fig2.virtual_links:
+        first = fig2.port_path(name)[0]
+        assert smin[(name, first)] == 0.0
+
+
+def test_smin_accumulates_transmission_and_latency(fig2):
+    smin = compute_smin(fig2)
+    # v1 at S1->S3: one 40 us transmission + 16 us switch latency
+    assert smin[("v1", ("S1", "S3"))] == pytest.approx(56.0)
+    # v1 at S3->e6: two transmissions + two latencies
+    assert smin[("v1", ("S3", "e6"))] == pytest.approx(112.0)
+
+
+def test_smin_uses_minimum_frame_size(single_switch):
+    smin = compute_smin(single_switch)
+    # va has s_min 64 B = 512 bits -> 5.12 us, plus 16 us latency
+    assert smin[("va", ("SW", "d"))] == pytest.approx(5.12 + 16.0)
+
+
+def test_smax_seed_zero_at_first_port(fig2):
+    nc = analyze_network_calculus(fig2)
+    smax = seed_smax_from_netcalc(fig2, nc)
+    assert smax[("v1", ("e1", "S1"))] == 0.0
+
+
+def test_smax_seed_accumulates_port_delays(fig2):
+    nc = analyze_network_calculus(fig2)
+    smax = seed_smax_from_netcalc(fig2, nc)
+    expected = nc.ports[("e1", "S1")].delay_us + 16.0
+    assert smax[("v1", ("S1", "S3"))] == pytest.approx(expected)
+
+
+def test_smax_dominates_smin_everywhere(fig1):
+    nc = analyze_network_calculus(fig1)
+    smax = seed_smax_from_netcalc(fig1, nc)
+    smin = compute_smin(fig1)
+    for key in smin:
+        assert smax[key] >= smin[key] - 1e-9
