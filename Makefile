@@ -1,0 +1,17 @@
+# Developer entry points.  `make check` is the tier-1 gate (tests +
+# bytecode compile); `make bench` regenerates the paper artefacts and
+# appends a timing record to benchmarks/results/BENCH_obs.json.
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: check test bench
+
+check:
+	sh scripts/check.sh
+
+test:
+	python -m pytest -x -q
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only

@@ -8,18 +8,31 @@ Scale: by default the industrial-configuration benches run the **full
 published scale** (~1000 VLs / >6000 paths; the dual analysis takes
 tens of seconds and is timed with a single round).  Set
 ``AFDX_BENCH_VLS=<n>`` to shrink the configuration for quick runs.
+
+Perf trajectory: an autouse fixture records each benchmark's wall time
+in a session :class:`~repro.obs.metrics.MetricsRegistry`; at session
+end the snapshot is *appended* to ``benchmarks/results/BENCH_obs.json``
+(one record per session, oldest first), so successive runs accumulate
+a comparable timing history.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.configs.industrial import IndustrialConfigSpec
+from repro.obs.metrics import MetricsRegistry
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_OBS_PATH = RESULTS_DIR / "BENCH_obs.json"
+
+#: Session-wide registry of per-benchmark wall times.
+_BENCH_METRICS = MetricsRegistry()
 
 
 @pytest.fixture(scope="session")
@@ -40,3 +53,35 @@ def persist():
         return result
 
     return write
+
+
+@pytest.fixture(autouse=True)
+def _record_bench_walltime(request):
+    """Time every benchmark test into the session registry."""
+    with _BENCH_METRICS.timer(f"bench.{request.node.name}"):
+        yield
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's timing snapshot to BENCH_obs.json."""
+    snapshot = _BENCH_METRICS.to_dict()
+    if not snapshot["timers"]:
+        return  # nothing collected (collection-only run, -k filtered out...)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = []
+    if BENCH_OBS_PATH.exists():
+        try:
+            history = json.loads(BENCH_OBS_PATH.read_text())
+        except ValueError:
+            history = []
+    if not isinstance(history, list):
+        history = []
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "exitstatus": int(exitstatus),
+            "bench_vls": int(os.environ.get("AFDX_BENCH_VLS", "1000")),
+            "metrics": snapshot,
+        }
+    )
+    BENCH_OBS_PATH.write_text(json.dumps(history, indent=2) + "\n")

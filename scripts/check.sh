@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 gate: the full test suite plus a bytecode compile of src/.
+# Usage: scripts/check.sh   (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ -n "${PYTHONPATH:-}" ]; then
+    PYTHONPATH="src:$PYTHONPATH"
+else
+    PYTHONPATH="src"
+fi
+export PYTHONPATH
+
+echo "== compileall src =="
+python -m compileall -q src
+
+echo "== pytest (tier-1) =="
+python -m pytest -x -q
+
+echo "check OK"

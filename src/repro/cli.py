@@ -15,13 +15,31 @@ Subcommands
     analytic bounds.
 ``afdx experiment {table1,fig3_4,fig5,fig6,fig7,fig8,fig9}``
     Regenerate one of the paper's tables/figures.
+
+Observability (every subcommand)
+--------------------------------
+
+``--log-level LEVEL``
+    Enable the ``repro`` logger hierarchy on stderr.
+``--metrics-json PATH``
+    Collect analyzer stats and write a run manifest (see
+    ``docs/OBSERVABILITY.md`` for the schema).
+``--progress``
+    Live per-phase progress on stderr for long industrial runs.
+
+Exit codes
+----------
+
+0 success · 1 command-level failure (invalid config report, bound
+violations) · 2 usage error (argparse) · 3 configuration error ·
+4 unstable network (no finite bound) · 5 other analysis error.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.configs import (
     IndustrialConfigSpec,
@@ -30,20 +48,66 @@ from repro.configs import (
     industrial_network,
     random_network,
 )
-from repro.core.comparison import compare_methods
+from repro.core.combined import analyze_network
+from repro.core.comparison import summarize
 from repro.core.jitter import jitter_bounds
+from repro.errors import AnalysisError, ConfigurationError, UnstableNetworkError
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.netcalc.analyzer import analyze_network_calculus
 from repro.network.serialization import network_from_json, network_to_json
 from repro.network.validation import validate_network
+from repro.obs import configure as configure_logging
+from repro.obs import (
+    build_manifest,
+    network_identity,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.manifest import bound_summary
+from repro.obs.trace import ProgressHook
 from repro.sim.scenarios import TrafficScenario, simulate
 from repro.trajectory.analyzer import analyze_trajectory
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_CONFIG_ERROR",
+    "EXIT_UNSTABLE",
+    "EXIT_ANALYSIS_ERROR",
+]
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+# argparse itself exits with 2 on usage errors
+EXIT_CONFIG_ERROR = 3
+EXIT_UNSTABLE = 4
+EXIT_ANALYSIS_ERROR = 5
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``afdx`` argument parser (exposed for testing)."""
+    obs = argparse.ArgumentParser(add_help=False)
+    group = obs.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable repro.* logging on stderr (DEBUG, INFO, WARNING...)",
+    )
+    group.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="collect run statistics and write a JSON run manifest",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-phase progress to stderr during long runs",
+    )
+
     parser = argparse.ArgumentParser(
         prog="afdx",
         description="Worst-case end-to-end delay analysis of AFDX networks "
@@ -51,7 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    analyze = sub.add_parser("analyze", help="compute delay bounds for a configuration")
+    analyze = sub.add_parser(
+        "analyze", parents=[obs], help="compute delay bounds for a configuration"
+    )
     analyze.add_argument("config", help="configuration JSON file")
     analyze.add_argument(
         "--no-grouping", action="store_true", help="disable NC grouping"
@@ -70,10 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the per-path jitter bound (bound - uncontended floor)",
     )
 
-    validate = sub.add_parser("validate", help="check a configuration")
+    validate = sub.add_parser("validate", parents=[obs], help="check a configuration")
     validate.add_argument("config", help="configuration JSON file")
 
-    generate = sub.add_parser("generate", help="write a bundled configuration")
+    generate = sub.add_parser(
+        "generate", parents=[obs], help="write a bundled configuration"
+    )
     generate.add_argument(
         "kind", choices=["fig1", "fig2", "industrial", "random"],
         help="which configuration to generate",
@@ -84,7 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--vls", type=int, default=1000, help="VL count (industrial/random)"
     )
 
-    simulate_cmd = sub.add_parser("simulate", help="simulate a configuration")
+    simulate_cmd = sub.add_parser(
+        "simulate", parents=[obs], help="simulate a configuration"
+    )
     simulate_cmd.add_argument("config", help="configuration JSON file")
     simulate_cmd.add_argument("--duration-ms", type=float, default=100.0)
     simulate_cmd.add_argument("--seed", type=int, default=0)
@@ -94,12 +164,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="desynchronize VL first releases (default: synchronized)",
     )
 
-    report = sub.add_parser("report", help="full certification-style report")
+    report = sub.add_parser(
+        "report", parents=[obs], help="full certification-style report"
+    )
     report.add_argument("config", help="configuration JSON file")
     report.add_argument("-o", "--output", default=None, help="write to a file")
     report.add_argument("--top", type=int, default=10, help="critical paths to detail")
 
-    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment = sub.add_parser(
+        "experiment", parents=[obs], help="regenerate a paper table/figure"
+    )
     experiment.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
     experiment.add_argument(
         "--vls", type=int, default=None,
@@ -113,13 +187,73 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
+def _print_progress(phase: str, done: int, total: int) -> None:
+    """Default ``--progress`` sink: one updating line per phase on stderr."""
+    end = "\n" if done >= total else ""
+    print(f"\r{phase}: {done}/{total}", end=end, file=sys.stderr, flush=True)
+
+
+class _RunContext:
+    """Per-invocation observability state shared with the subcommands.
+
+    Collects the command-level metrics registry, the progress hook and
+    the manifest sections (``config`` / ``analyzers`` / ``bounds``)
+    the dispatched command fills in; :func:`main` assembles and writes
+    the manifest after the command returns.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.metrics_path: Optional[str] = getattr(args, "metrics_json", None)
+        self.collect = self.metrics_path is not None
+        self.metrics = MetricsRegistry(enabled=self.collect)
+        self.progress = (
+            ProgressHook(_print_progress) if getattr(args, "progress", False) else None
+        )
+        self.config: Optional[Dict[str, object]] = None
+        self.analyzers: Dict[str, Dict[str, object]] = {}
+        self.bounds: Optional[Dict[str, object]] = None
+
+    def set_config(self, network, source: Optional[str] = None) -> None:
+        """Record the configuration identity for the manifest."""
+        if not self.collect:
+            return
+        self.config = network_identity(network)
+        if source is not None:
+            self.config["source"] = str(source)
+
+
+#: argparse attributes that are not analyzer/command options.
+_NON_OPTION_ARGS = {"command", "log_level", "metrics_json", "progress"}
+
+
+def _manifest_options(args: argparse.Namespace) -> Dict[str, object]:
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in _NON_OPTION_ARGS
+    }
+
+
+def _cmd_analyze(args: argparse.Namespace, ctx: _RunContext) -> int:
     network = network_from_json(args.config)
-    result = compare_methods(
+    ctx.set_config(network, source=args.config)
+    nc = analyze_network_calculus(
         network,
         grouping=not args.no_grouping,
-        serialization=args.serialization,
+        collect_stats=ctx.collect,
+        progress=ctx.progress,
     )
+    trajectory = analyze_trajectory(
+        network,
+        serialization=args.serialization,
+        collect_stats=ctx.collect,
+        progress=ctx.progress,
+    )
+    result = analyze_network(network, nc_result=nc, trajectory_result=trajectory)
+    result.stats = summarize(result.paths.values())
+    if ctx.collect:
+        ctx.analyzers = {"network_calculus": nc.stats, "trajectory": trajectory.stats}
+        ctx.bounds = bound_summary(result)
     jitters = jitter_bounds(network, result) if args.jitter else None
     paths = result.path_list()
     paths.sort(key=lambda p: -p.best_us)
@@ -139,11 +273,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(line)
     print()
     print(result.stats.as_table())
-    return 0
+    return EXIT_OK
 
 
-def _cmd_validate(args: argparse.Namespace) -> int:
+def _cmd_validate(args: argparse.Namespace, ctx: _RunContext) -> int:
     network = network_from_json(args.config)
+    ctx.set_config(network, source=args.config)
     report = validate_network(network)
     for error in report.errors:
         print(f"ERROR: {error}")
@@ -154,10 +289,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         f"{network!r}: {'OK' if report.ok else 'INVALID'} "
         f"(max port utilization {worst:.3f})"
     )
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_FAILURE
 
 
-def _cmd_generate(args: argparse.Namespace) -> int:
+def _cmd_generate(args: argparse.Namespace, ctx: _RunContext) -> int:
     if args.kind == "fig1":
         network = fig1_network()
     elif args.kind == "fig2":
@@ -168,21 +303,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         )
     else:
         network = random_network(args.seed, n_virtual_links=min(args.vls, 50))
+    ctx.set_config(network)
     network_to_json(network, args.output)
     print(f"wrote {network!r} to {args.output}")
-    return 0
+    return EXIT_OK
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _cmd_simulate(args: argparse.Namespace, ctx: _RunContext) -> int:
     network = network_from_json(args.config)
-    nc = analyze_network_calculus(network)
-    trajectory = analyze_trajectory(network, serialization="safe")
+    ctx.set_config(network, source=args.config)
+    nc = analyze_network_calculus(
+        network, collect_stats=ctx.collect, progress=ctx.progress
+    )
+    trajectory = analyze_trajectory(
+        network, serialization="safe", collect_stats=ctx.collect, progress=ctx.progress
+    )
+    if ctx.collect:
+        ctx.analyzers = {"network_calculus": nc.stats, "trajectory": trajectory.stats}
     scenario = TrafficScenario(
         duration_ms=args.duration_ms,
         synchronized=not args.random_offsets,
         seed=args.seed,
     )
-    observed = simulate(network, scenario)
+    observed = simulate(network, scenario, metrics=ctx.metrics)
     print(
         f"{'VL path':<24}{'observed max':>14}{'Traj(safe)':>12}{'WCNC':>12}{'margin':>10}"
     )
@@ -198,31 +341,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{nc.paths[key].total_us:>12.1f}{margin:>10.1f}"
         )
     print(f"\n{observed.duration_us / 1000:.0f} ms simulated, {violations} bound violations")
-    return 1 if violations else 0
+    return EXIT_FAILURE if violations else EXIT_OK
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _cmd_experiment(args: argparse.Namespace, ctx: _RunContext) -> int:
     kwargs = {}
     if args.vls is not None and args.id in ("table1", "fig5", "fig6"):
         kwargs["spec"] = IndustrialConfigSpec(n_virtual_links=args.vls)
-    result = run_experiment(args.id, **kwargs)
+    result = run_experiment(args.id, metrics=ctx.metrics, **kwargs)
     print(result.render())
     if args.csv:
         from pathlib import Path
 
         Path(args.csv).write_text(result.to_csv())
         print(f"(csv written to {args.csv})")
-    return 0
+    return EXIT_OK
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace, ctx: _RunContext) -> int:
     from pathlib import Path
 
     from repro.core.reporting import certification_report
-    from repro.netcalc.analyzer import analyze_network_calculus as _nc
+    from repro.core.comparison import compare_methods
 
     network = network_from_json(args.config)
-    nc = _nc(network)
+    ctx.set_config(network, source=args.config)
+    nc = analyze_network_calculus(
+        network, collect_stats=ctx.collect, progress=ctx.progress
+    )
     result = compare_methods(network)
     text = certification_report(network, result, nc_result=nc, top_paths=args.top)
     if args.output:
@@ -230,7 +376,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(text, end="")
-    return 0
+    return EXIT_OK
 
 
 _COMMANDS = {
@@ -245,8 +391,44 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``afdx`` console script."""
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.log_level is not None:
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            parser.error(str(exc))
+    ctx = _RunContext(args)
+    status, error, code = "ok", None, EXIT_OK
+    try:
+        with ctx.metrics.timer("cli.total"):
+            code = _COMMANDS[args.command](args, ctx)
+    except ConfigurationError as exc:
+        status, error, code = "error", str(exc), EXIT_CONFIG_ERROR
+    except UnstableNetworkError as exc:
+        status, error, code = "error", str(exc), EXIT_UNSTABLE
+    except AnalysisError as exc:
+        status, error, code = "error", str(exc), EXIT_ANALYSIS_ERROR
+    if error is not None:
+        print(f"afdx: error: {error}", file=sys.stderr)
+    if ctx.metrics_path is not None:
+        manifest = build_manifest(
+            command=args.command,
+            options=_manifest_options(args),
+            config=ctx.config,
+            analyzers=ctx.analyzers,
+            bounds=ctx.bounds,
+            metrics=ctx.metrics.to_dict(),
+            status=status,
+            error=error,
+        )
+        try:
+            write_manifest(manifest, ctx.metrics_path)
+        except OSError as exc:
+            print(f"afdx: error: cannot write manifest: {exc}", file=sys.stderr)
+            return code if code != EXIT_OK else EXIT_FAILURE
+        print(f"(run manifest written to {ctx.metrics_path})", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

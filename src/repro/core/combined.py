@@ -60,6 +60,8 @@ def analyze_network(
     refine_smax: bool = True,
     nc_result: Optional[NetworkCalculusResult] = None,
     trajectory_result: Optional[TrajectoryResult] = None,
+    collect_stats: bool = False,
+    progress=None,
 ) -> AnalysisResult:
     """Run both methods on ``network`` and combine them per path.
 
@@ -71,11 +73,21 @@ def analyze_network(
     nc_result / trajectory_result:
         Pre-computed results to reuse instead of re-running an analysis
         (e.g. in parameter sweeps that only perturb one method's input).
+    collect_stats / progress:
+        Observability hooks forwarded to both analyzers (see
+        :mod:`repro.obs`); the collected snapshots live on the
+        per-method results' ``stats`` fields.
     """
     if nc_result is None:
-        nc_result = analyze_network_calculus(network, grouping=grouping)
+        nc_result = analyze_network_calculus(
+            network, grouping=grouping, collect_stats=collect_stats, progress=progress
+        )
     if trajectory_result is None:
         trajectory_result = analyze_trajectory(
-            network, serialization=serialization, refine_smax=refine_smax
+            network,
+            serialization=serialization,
+            refine_smax=refine_smax,
+            collect_stats=collect_stats,
+            progress=progress,
         )
     return build_comparison(nc_result, trajectory_result)

@@ -48,6 +48,8 @@ def compare_methods(
     grouping: bool = True,
     serialization: bool = True,
     refine_smax: bool = True,
+    collect_stats: bool = False,
+    progress=None,
 ) -> AnalysisResult:
     """Run both analyses and attach aggregate statistics.
 
@@ -59,6 +61,8 @@ def compare_methods(
         grouping=grouping,
         serialization=serialization,
         refine_smax=refine_smax,
+        collect_stats=collect_stats,
+        progress=progress,
     )
     result.stats = summarize(result.paths.values())
     return result

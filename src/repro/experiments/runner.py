@@ -4,14 +4,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.configs.industrial import IndustrialConfigSpec, industrial_network
 from repro.core.combined import build_comparison
 from repro.core.results import AnalysisResult
 from repro.netcalc.analyzer import analyze_network_calculus
 from repro.network.topology import Network
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import MetricsRegistry
 from repro.trajectory.analyzer import analyze_trajectory
+
+_LOG = get_logger("experiments")
 
 __all__ = [
     "ExperimentResult",
@@ -103,9 +107,24 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(**kwargs)
+def run_experiment(
+    experiment_id: str, metrics: Optional[MetricsRegistry] = None, **kwargs
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    ``metrics`` (optional) records the ``experiment.<id>`` wall-time
+    timer and a ``experiment.rows`` gauge; the run is also logged on
+    the ``repro.experiments`` logger.
+    """
+    driver = get_experiment(experiment_id)
+    if metrics is None:
+        metrics = MetricsRegistry(enabled=False)
+    _LOG.info("experiment start %s", kv(id=experiment_id))
+    with metrics.timer(f"experiment.{experiment_id}"):
+        result = driver(**kwargs)
+    metrics.gauge("experiment.rows", len(result.rows))
+    _LOG.info("experiment done %s", kv(id=experiment_id, rows=len(result.rows)))
+    return result
 
 
 @lru_cache(maxsize=4)

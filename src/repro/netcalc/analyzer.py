@@ -23,7 +23,7 @@ degrade for small BAGs (Fig. 8) while the Trajectory approach does not.
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.curves import LeakyBucket, RateLatency, horizontal_deviation, vertical_deviation
 from repro.errors import UnstableNetworkError
@@ -33,8 +33,12 @@ from repro.network.port import PortId
 from repro.network.port_graph import topological_port_order
 from repro.network.topology import Network
 from repro.network.validation import check_network
+from repro.obs.instrument import OFF, Instrumentation
+from repro.obs.logging import get_logger, kv
 
 __all__ = ["NetworkCalculusAnalyzer", "analyze_network_calculus"]
+
+_LOG = get_logger("netcalc")
 
 
 class NetworkCalculusAnalyzer:
@@ -51,6 +55,14 @@ class NetworkCalculusAnalyzer:
         Extra per-frame wire bytes (preamble + IFG) to add on top of
         ``s_max``; the paper works with bare Ethernet frame sizes, so
         the default is 0.
+    collect_stats:
+        Record per-phase spans, counters and timers (:mod:`repro.obs`)
+        and attach them to the result's ``stats`` field.  Off by
+        default: the uninstrumented run is bit-identical to the
+        pre-observability analyzer.
+    progress:
+        Optional ``callable(phase, done, total)`` invoked during the
+        port propagation of large configurations.
     """
 
     def __init__(
@@ -58,12 +70,15 @@ class NetworkCalculusAnalyzer:
         network: Network,
         grouping: bool = True,
         frame_overhead_bytes: float = 0.0,
+        collect_stats: bool = False,
+        progress=None,
     ):
         if frame_overhead_bytes < 0:
             raise ValueError(f"frame overhead must be >= 0, got {frame_overhead_bytes}")
         self.network = network
         self.grouping = grouping
         self.frame_overhead_bits = frame_overhead_bytes * 8.0
+        self._obs = Instrumentation.create(collect_stats, progress)
         self._result: "NetworkCalculusResult | None" = None
 
     # ------------------------------------------------------------------
@@ -73,8 +88,12 @@ class NetworkCalculusAnalyzer:
         if self._result is not None:
             return self._result
         network = self.network
-        check_network(network)
-        order = topological_port_order(network)
+        obs = self._obs
+        with obs.tracer.span("netcalc.validate"):
+            check_network(network)
+        with obs.tracer.span("netcalc.toposort"):
+            order = topological_port_order(network)
+        obs.metrics.gauge("netcalc.ports", len(order))
 
         # bucket of each flow when entering each port of its tree
         entering: Dict[Tuple[str, PortId], LeakyBucket] = {}
@@ -88,60 +107,97 @@ class NetworkCalculusAnalyzer:
         result = NetworkCalculusResult(grouping=self.grouping)
         port_delay: Dict[PortId, float] = {}
 
-        for port_id in order:
-            flows = network.vls_at_port(port_id)
-            buckets = {name: entering[(name, port_id)] for name in flows}
-            aggregate, n_groups = port_aggregate_curve(
-                network, port_id, buckets, self.grouping
-            )
-            port = network.output_port(*port_id)
-            beta = RateLatency(rate=port.rate_bits_per_us, latency=port.latency_us)
-            delay = horizontal_deviation(aggregate, beta.curve())
-            if math.isinf(delay):
-                raise UnstableNetworkError(
-                    f"no finite delay bound at port {port}: aggregate long-term rate "
-                    f"{aggregate.final_slope:.3f} bits/us exceeds the link rate "
-                    f"{port.rate_bits_per_us:.3f}"
+        collect = obs.enabled
+        progress = obs.progress
+        propagation_span = obs.tracer.span(
+            "netcalc.propagate", n_ports=len(order), grouping=self.grouping
+        )
+        flows_propagated = 0
+        with propagation_span:
+            for index, port_id in enumerate(order):
+                if progress:
+                    progress.update("netcalc.propagate", index, len(order))
+                flows = network.vls_at_port(port_id)
+                buckets = {name: entering[(name, port_id)] for name in flows}
+                aggregate, n_groups = port_aggregate_curve(
+                    network, port_id, buckets, self.grouping
                 )
-            backlog = vertical_deviation(aggregate, beta.curve())
-            port_delay[port_id] = delay
-            result.ports[port_id] = PortAnalysis(
-                port_id=port_id,
-                delay_us=delay,
-                backlog_bits=backlog,
-                utilization=network.port_utilization(port_id),
-                n_flows=len(flows),
-                n_groups=n_groups,
-            )
-            # propagate every flow to its next port(s)
-            for name in flows:
-                out_bucket = buckets[name].delayed(delay)
-                for path in network.vl(name).paths:
-                    ports = list(zip(path, path[1:]))
-                    for pos, pid in enumerate(ports):
-                        if pid == port_id and pos + 1 < len(ports):
-                            entering[(name, ports[pos + 1])] = out_bucket
+                port = network.output_port(*port_id)
+                beta = RateLatency(rate=port.rate_bits_per_us, latency=port.latency_us)
+                delay = horizontal_deviation(aggregate, beta.curve())
+                if math.isinf(delay):
+                    raise UnstableNetworkError(
+                        f"no finite delay bound at port {port}: aggregate long-term rate "
+                        f"{aggregate.final_slope:.3f} bits/us exceeds the link rate "
+                        f"{port.rate_bits_per_us:.3f}"
+                    )
+                backlog = vertical_deviation(aggregate, beta.curve())
+                port_delay[port_id] = delay
+                result.ports[port_id] = PortAnalysis(
+                    port_id=port_id,
+                    delay_us=delay,
+                    backlog_bits=backlog,
+                    utilization=network.port_utilization(port_id),
+                    n_flows=len(flows),
+                    n_groups=n_groups,
+                )
+                # propagate every flow to its next port(s)
+                for name in flows:
+                    out_bucket = buckets[name].delayed(delay)
+                    for path in network.vl(name).paths:
+                        ports = list(zip(path, path[1:]))
+                        for pos, pid in enumerate(ports):
+                            if pid == port_id and pos + 1 < len(ports):
+                                entering[(name, ports[pos + 1])] = out_bucket
+                if collect:
+                    flows_propagated += len(flows)
+            if progress:
+                progress.update("netcalc.propagate", len(order), len(order))
 
-        for vl_name, path_index, node_path in network.flow_paths():
-            port_ids = tuple((a, b) for a, b in zip(node_path, node_path[1:]))
-            delays = tuple(port_delay[pid] for pid in port_ids)
-            result.paths[(vl_name, path_index)] = PathBound(
-                vl_name=vl_name,
-                path_index=path_index,
-                node_path=tuple(node_path),
-                port_ids=port_ids,
-                per_port_delay_us=delays,
-                total_us=sum(delays),
+        if collect:
+            obs.metrics.counter("netcalc.ports_analyzed", len(order))
+            obs.metrics.counter("netcalc.flow_propagations", flows_propagated)
+            obs.metrics.gauge(
+                "netcalc.groups",
+                sum(analysis.n_groups for analysis in result.ports.values()),
             )
+
+        with obs.tracer.span("netcalc.paths"):
+            for vl_name, path_index, node_path in network.flow_paths():
+                port_ids = tuple((a, b) for a, b in zip(node_path, node_path[1:]))
+                delays = tuple(port_delay[pid] for pid in port_ids)
+                result.paths[(vl_name, path_index)] = PathBound(
+                    vl_name=vl_name,
+                    path_index=path_index,
+                    node_path=tuple(node_path),
+                    port_ids=port_ids,
+                    per_port_delay_us=delays,
+                    total_us=sum(delays),
+                )
+        if collect:
+            obs.metrics.counter("netcalc.paths_bound", len(result.paths))
+            result.stats = obs.export()
+        _LOG.debug(
+            "netcalc done %s",
+            kv(ports=len(order), paths=len(result.paths), grouping=self.grouping),
+        )
 
         self._result = result
         return result
 
 
 def analyze_network_calculus(
-    network: Network, grouping: bool = True, frame_overhead_bytes: float = 0.0
+    network: Network,
+    grouping: bool = True,
+    frame_overhead_bytes: float = 0.0,
+    collect_stats: bool = False,
+    progress=None,
 ) -> NetworkCalculusResult:
     """One-shot convenience wrapper around :class:`NetworkCalculusAnalyzer`."""
     return NetworkCalculusAnalyzer(
-        network, grouping=grouping, frame_overhead_bytes=frame_overhead_bytes
+        network,
+        grouping=grouping,
+        frame_overhead_bytes=frame_overhead_bytes,
+        collect_stats=collect_stats,
+        progress=progress,
     ).analyze()

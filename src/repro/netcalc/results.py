@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.port import PortId
 
@@ -71,11 +71,16 @@ class NetworkCalculusResult:
         Per-port analyses, keyed by port id.
     paths:
         Per-VL-path end-to-end bounds, keyed by ``(vl_name, path_index)``.
+    stats:
+        Observability snapshot (counters / timers / phase spans, see
+        :mod:`repro.obs`) when the analysis ran with
+        ``collect_stats=True``; None otherwise.
     """
 
     grouping: bool
     ports: Dict[PortId, PortAnalysis] = field(default_factory=dict)
     paths: Dict[FlowPathKey, PathBound] = field(default_factory=dict)
+    stats: Optional[Dict[str, object]] = None
 
     def bound_us(self, vl_name: str, path_index: int = 0) -> float:
         """End-to-end bound of one VL path, in microseconds."""

@@ -1,0 +1,47 @@
+"""Observability: structured logging, metrics, tracing, run manifests.
+
+The package is the measurement substrate for both analyzers and the
+simulator.  Everything is opt-in and zero-overhead when disabled:
+
+* :mod:`repro.obs.logging` — the ``repro``-namespaced logger hierarchy
+  and a :func:`~repro.obs.logging.configure` helper;
+* :mod:`repro.obs.metrics` — counters, gauges and nestable
+  monotonic-clock timers, exportable to a JSON dict;
+* :mod:`repro.obs.trace` — span-based phase tracing plus the
+  :class:`~repro.obs.trace.ProgressHook` callback for long runs;
+* :mod:`repro.obs.instrument` — the bundle the analyzers thread
+  through their hot paths (``collect_stats=True`` turns it on);
+* :mod:`repro.obs.manifest` — run-manifest assembly, validation
+  against the documented schema, and JSON persistence.
+"""
+
+from repro.obs.instrument import OFF, Instrumentation
+from repro.obs.logging import configure, get_logger
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    network_identity,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, TimerStats
+from repro.obs.trace import NULL_TRACER, ProgressHook, Span, Tracer
+
+__all__ = [
+    "configure",
+    "get_logger",
+    "MetricsRegistry",
+    "TimerStats",
+    "NULL_REGISTRY",
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "ProgressHook",
+    "Instrumentation",
+    "OFF",
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "network_identity",
+    "validate_manifest",
+    "write_manifest",
+]

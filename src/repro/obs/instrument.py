@@ -1,0 +1,64 @@
+"""The instrumentation bundle threaded through the analyzers.
+
+:class:`Instrumentation` groups one :class:`~repro.obs.metrics.MetricsRegistry`,
+one :class:`~repro.obs.trace.Tracer` and one
+:class:`~repro.obs.trace.ProgressHook` so hot paths carry a single
+handle.  The shared :data:`OFF` instance is fully disabled; analyzers
+default to it, which keeps the uninstrumented code path identical to
+the pre-observability behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import ProgressCallback, ProgressHook, Tracer
+
+__all__ = ["Instrumentation", "OFF"]
+
+
+class Instrumentation:
+    """Metrics + tracer + progress, enabled or disabled as one unit."""
+
+    __slots__ = ("enabled", "metrics", "tracer", "progress")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        progress: Optional[Union[ProgressCallback, ProgressHook]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry(enabled)
+        self.tracer = Tracer(enabled)
+        self.progress = (
+            progress if isinstance(progress, ProgressHook) else ProgressHook(progress)
+        )
+
+    @classmethod
+    def create(
+        cls,
+        collect_stats: bool,
+        progress: Optional[Union[ProgressCallback, ProgressHook]] = None,
+    ) -> "Instrumentation":
+        """The bundle for an analyzer run: :data:`OFF` when nothing is on."""
+        if not collect_stats and progress is None:
+            return OFF
+        return cls(enabled=collect_stats, progress=progress)
+
+    def export(self) -> Optional[Dict[str, object]]:
+        """Collected stats as a JSON dict — None when disabled.
+
+        The shape is the ``stats`` field documented in
+        ``docs/OBSERVABILITY.md``: the registry's counters / gauges /
+        timers plus the span tree under ``"spans"``.
+        """
+        if not self.enabled:
+            return None
+        stats = self.metrics.to_dict()
+        stats["spans"] = self.tracer.to_list()
+        return stats
+
+
+#: Shared disabled bundle — the analyzers' default.
+OFF = Instrumentation()

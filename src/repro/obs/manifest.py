@@ -1,0 +1,225 @@
+"""Run manifests: what ran, on what configuration, how long, what came out.
+
+A manifest is the JSON artefact written by ``afdx ... --metrics-json
+PATH``.  It records the command and its options, the configuration
+identity, each analyzer's collected stats (per-phase spans, counters,
+timers, the Trajectory sweep-convergence trace) and a summary of the
+resulting bounds — enough to compare two runs of the industrial
+configuration without rerunning either.
+
+The schema (version :data:`MANIFEST_VERSION`) is documented in
+``docs/OBSERVABILITY.md`` and enforced by :func:`validate_manifest`,
+which is hand-rolled so the library keeps zero runtime dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "network_identity",
+    "bound_summary",
+    "build_manifest",
+    "validate_manifest",
+    "write_manifest",
+]
+
+MANIFEST_VERSION = 1
+
+
+def network_identity(network) -> Dict[str, object]:
+    """Identity block of a configuration: name and population sizes."""
+    return {
+        "name": network.name,
+        "n_nodes": len(network.nodes),
+        "n_links": len(network.links()),
+        "n_virtual_links": len(network.virtual_links),
+        "n_paths": len(network.flow_paths()),
+    }
+
+
+def bound_summary(result) -> Dict[str, object]:
+    """Bound summary of an :class:`~repro.core.results.AnalysisResult`.
+
+    Per-method path counts plus min/mean/max of the per-path bounds —
+    the aggregate a certification engineer checks first.
+    """
+    paths = result.path_list()
+
+    def agg(values: List[float]) -> Dict[str, float]:
+        return {
+            "min_us": round(min(values), 3),
+            "mean_us": round(sum(values) / len(values), 3),
+            "max_us": round(max(values), 3),
+        }
+
+    summary: Dict[str, object] = {
+        "n_paths": len(paths),
+        "network_calculus": agg([p.network_calculus_us for p in paths]),
+        "trajectory": agg([p.trajectory_us for p in paths]),
+        "combined": agg([p.best_us for p in paths]),
+    }
+    if result.stats is not None:
+        summary["mean_benefit_trajectory_pct"] = round(
+            result.stats.mean_benefit_trajectory_pct, 3
+        )
+        summary["trajectory_wins_share"] = round(result.stats.trajectory_wins_share, 4)
+    return summary
+
+
+def build_manifest(
+    command: str,
+    options: Dict[str, object],
+    config: Optional[Dict[str, object]] = None,
+    analyzers: Optional[Dict[str, Dict[str, object]]] = None,
+    bounds: Optional[Dict[str, object]] = None,
+    metrics: Optional[Dict[str, object]] = None,
+    status: str = "ok",
+    error: Optional[str] = None,
+) -> Dict[str, object]:
+    """Assemble a schema-conformant manifest dict.
+
+    ``analyzers`` maps analyzer names (``"network_calculus"``,
+    ``"trajectory"``, ``"simulation"``) to their exported ``stats``
+    dicts; ``metrics`` is the command-level registry snapshot.
+    """
+    from repro import __version__
+
+    manifest: Dict[str, object] = {
+        "manifest_version": MANIFEST_VERSION,
+        "generated_by": f"repro {__version__}",
+        "command": command,
+        "status": status,
+        "options": dict(options),
+    }
+    if error is not None:
+        manifest["error"] = error
+    if config is not None:
+        manifest["config"] = dict(config)
+    if analyzers:
+        manifest["analyzers"] = {
+            name: dict(stats) for name, stats in analyzers.items() if stats is not None
+        }
+    if bounds is not None:
+        manifest["bounds"] = dict(bounds)
+    if metrics is not None:
+        manifest["metrics"] = dict(metrics)
+    return manifest
+
+
+def write_manifest(manifest: Dict[str, object], path: Union[str, Path]) -> Path:
+    """Validate and write a manifest as pretty-printed JSON."""
+    validate_manifest(manifest)
+    target = Path(path)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+# ----------------------------------------------------------------------
+# Schema validation (dependency-free)
+# ----------------------------------------------------------------------
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"invalid manifest at {path}: {message}")
+
+
+def _require(entry: Dict[str, object], key: str, types, path: str):
+    if key not in entry:
+        _fail(path, f"missing required key {key!r}")
+    value = entry[key]
+    if not isinstance(value, types) or isinstance(value, bool):
+        _fail(f"{path}.{key}", f"expected {types}, got {type(value).__name__}")
+    return value
+
+
+def _check_stats_block(stats: object, path: str, require_spans: bool = True) -> None:
+    if not isinstance(stats, dict):
+        _fail(path, "stats block must be an object")
+    for section in ("counters", "gauges", "timers"):
+        block = _require(stats, section, dict, path)
+        for name, value in block.items():
+            if section == "timers":
+                if not isinstance(value, dict):
+                    _fail(f"{path}.timers.{name}", "timer entry must be an object")
+                for field in ("count", "total_ms", "mean_ms", "max_ms"):
+                    _require(value, field, (int, float), f"{path}.timers.{name}")
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                _fail(f"{path}.{section}.{name}", "value must be a number")
+    spans = (
+        _require(stats, "spans", list, path) if require_spans else stats.get("spans", [])
+    )
+    if not isinstance(spans, list):
+        _fail(f"{path}.spans", "must be a list")
+    for index, span in enumerate(spans):
+        _check_span(span, f"{path}.spans[{index}]")
+    if "sweeps" in stats:
+        sweeps = stats["sweeps"]
+        if not isinstance(sweeps, list):
+            _fail(f"{path}.sweeps", "sweep trace must be a list")
+        for index, entry in enumerate(sweeps):
+            if not isinstance(entry, dict):
+                _fail(f"{path}.sweeps[{index}]", "sweep entry must be an object")
+            _require(entry, "sweep", int, f"{path}.sweeps[{index}]")
+            _require(entry, "smax_updates", int, f"{path}.sweeps[{index}]")
+            _require(entry, "max_delta_us", (int, float), f"{path}.sweeps[{index}]")
+
+
+def _check_span(span: object, path: str) -> None:
+    if not isinstance(span, dict):
+        _fail(path, "span must be an object")
+    _require(span, "name", str, path)
+    _require(span, "start_ms", (int, float), path)
+    _require(span, "duration_ms", (int, float), path)
+    for index, child in enumerate(span.get("children", [])):
+        _check_span(child, f"{path}.children[{index}]")
+
+
+def _check_bound_agg(agg: object, path: str) -> None:
+    if not isinstance(agg, dict):
+        _fail(path, "bound aggregate must be an object")
+    for field in ("min_us", "mean_us", "max_us"):
+        _require(agg, field, (int, float), path)
+
+
+def validate_manifest(manifest: Dict[str, object]) -> None:
+    """Raise :class:`ValueError` unless ``manifest`` matches the schema."""
+    if not isinstance(manifest, dict):
+        raise ValueError("manifest must be an object")
+    version = _require(manifest, "manifest_version", int, "$")
+    if version != MANIFEST_VERSION:
+        _fail("$.manifest_version", f"unsupported version {version}")
+    _require(manifest, "generated_by", str, "$")
+    _require(manifest, "command", str, "$")
+    status = _require(manifest, "status", str, "$")
+    if status not in ("ok", "error"):
+        _fail("$.status", f"must be 'ok' or 'error', got {status!r}")
+    if status == "error":
+        _require(manifest, "error", str, "$")
+    _require(manifest, "options", dict, "$")
+    if "config" in manifest:
+        config = manifest["config"]
+        if not isinstance(config, dict):
+            _fail("$.config", "must be an object")
+        _require(config, "name", str, "$.config")
+        for field in ("n_nodes", "n_links", "n_virtual_links", "n_paths"):
+            _require(config, field, int, "$.config")
+    if "analyzers" in manifest:
+        analyzers = manifest["analyzers"]
+        if not isinstance(analyzers, dict):
+            _fail("$.analyzers", "must be an object")
+        for name, stats in analyzers.items():
+            _check_stats_block(stats, f"$.analyzers.{name}")
+    if "bounds" in manifest:
+        bounds = manifest["bounds"]
+        if not isinstance(bounds, dict):
+            _fail("$.bounds", "must be an object")
+        _require(bounds, "n_paths", int, "$.bounds")
+        for method in ("network_calculus", "trajectory", "combined"):
+            if method in bounds:
+                _check_bound_agg(bounds[method], f"$.bounds.{method}")
+    if "metrics" in manifest:
+        _check_stats_block(manifest["metrics"], "$.metrics", require_spans=False)

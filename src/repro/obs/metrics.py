@@ -1,0 +1,141 @@
+"""Lightweight in-process metrics: counters, gauges, timers.
+
+A :class:`MetricsRegistry` is a plain accumulator — no background
+threads, no sampling — designed so instrumented hot paths cost one
+attribute check when collection is disabled.  Timers use the monotonic
+:func:`time.perf_counter` clock and nest freely (each ``with`` block
+records independently, including re-entrant use of the same name).
+
+The registry serializes to a JSON-compatible dict via
+:meth:`MetricsRegistry.to_dict`, which is what run manifests and
+``BENCH_obs.json`` embed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["TimerStats", "MetricsRegistry", "NULL_REGISTRY"]
+
+
+class TimerStats:
+    """Accumulated observations of one named timer."""
+
+    __slots__ = ("count", "total_ms", "min_ms", "max_ms")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_ms = 0.0
+        self.min_ms = math.inf
+        self.max_ms = 0.0
+
+    def record(self, elapsed_ms: float) -> None:
+        """Fold one observation (milliseconds) into the statistics."""
+        self.count += 1
+        self.total_ms += elapsed_ms
+        self.min_ms = min(self.min_ms, elapsed_ms)
+        self.max_ms = max(self.max_ms, elapsed_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "min_ms": round(self.min_ms, 3) if self.count else 0.0,
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and timers under dotted names.
+
+    Parameters
+    ----------
+    enabled:
+        When False every recording method returns immediately and
+        :meth:`to_dict` reports empty maps — the shared
+        :data:`NULL_REGISTRY` instance is safe to pass everywhere.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_timers")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStats] = {}
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to the counter ``name``."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the enclosed block on the monotonic clock.
+
+        Nestable and re-entrant: each block records one observation on
+        ``name`` regardless of what runs (or times) inside it.
+        """
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            stats = self._timers.get(name)
+            if stats is None:
+                stats = self._timers[name] = TimerStats()
+            stats.record(elapsed_ms)
+
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float:
+        """Latest value of a gauge (0 if never set)."""
+        return self._gauges.get(name, 0)
+
+    def timer_stats(self, name: str) -> TimerStats:
+        """Accumulated timer statistics (empty if never observed)."""
+        return self._timers.get(name, TimerStats())
+
+    def clear(self) -> None:
+        """Drop every recorded value (the enabled flag is kept)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible snapshot of everything recorded so far."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "timers": {
+                name: stats.to_dict() for name, stats in sorted(self._timers.items())
+            },
+        }
+
+
+#: Shared always-disabled registry: record calls are no-ops.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

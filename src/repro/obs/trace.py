@@ -1,0 +1,140 @@
+"""Span-based phase tracing and the progress callback hook.
+
+A :class:`Tracer` records named phases (validation, topological sort,
+NC propagation, each Trajectory sweep, per-path maximization...) as a
+tree of :class:`Span` objects with monotonic-clock wall time and
+arbitrary JSON-compatible attributes (port counts, competitors met,
+sweep deltas).  Spans nest through a ``with`` stack; the resulting
+tree serializes with :meth:`Tracer.to_list` for run manifests.
+
+:class:`ProgressHook` is the callback side-channel for long industrial
+runs: analyzers report ``(phase, done, total)`` and the hook forwards
+to a user callable, rate-limited so a ~6000-path sweep does not drown
+the terminal.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_TRACER", "ProgressHook"]
+
+ProgressCallback = Callable[[str, int, int], None]
+
+
+class Span:
+    """One traced phase: name, offset/duration, attributes, children."""
+
+    __slots__ = ("name", "start_ms", "duration_ms", "attrs", "children")
+
+    def __init__(self, name: str, start_ms: float) -> None:
+        self.name = name
+        self.start_ms = start_ms
+        self.duration_ms = 0.0
+        self.attrs: Dict[str, object] = {}
+        self.children: List["Span"] = []
+
+    def to_dict(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "name": self.name,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        if self.attrs:
+            entry["attrs"] = dict(self.attrs)
+        if self.children:
+            entry["children"] = [child.to_dict() for child in self.children]
+        return entry
+
+
+class Tracer:
+    """Records a tree of :class:`Span` phases against one time origin.
+
+    Disabled tracers (``enabled=False``, or the shared
+    :data:`NULL_TRACER`) skip all bookkeeping.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._origin = time.perf_counter()
+        self._roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Optional[Span]]:
+        """Open a phase; nested ``span`` calls become children."""
+        if not self.enabled:
+            yield None
+            return
+        start = time.perf_counter()
+        span = Span(name, (start - self._origin) * 1000.0)
+        if attrs:
+            span.attrs.update(attrs)
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent else self._roots).append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.duration_ms = (time.perf_counter() - start) * 1000.0
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes to the innermost open span (no-op outside)."""
+        if self.enabled and self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    def spans(self) -> List[Span]:
+        """The completed root spans, in start order."""
+        return list(self._roots)
+
+    def to_list(self) -> List[Dict[str, object]]:
+        """JSON-compatible tree of every recorded root span."""
+        return [span.to_dict() for span in self._roots]
+
+
+#: Shared always-disabled tracer.
+NULL_TRACER = Tracer(enabled=False)
+
+
+class ProgressHook:
+    """Forwards ``(phase, done, total)`` updates to a user callback.
+
+    Parameters
+    ----------
+    callback:
+        ``callable(phase, done, total)`` or None (the hook is then
+        falsy and every update is a cheap no-op).
+    min_interval_s:
+        Wall-clock floor between forwarded updates per phase; the
+        final update of a phase (``done == total``) always goes
+        through so consumers can close their display.
+    """
+
+    __slots__ = ("callback", "min_interval_s", "_last_emit")
+
+    def __init__(
+        self,
+        callback: Optional[ProgressCallback] = None,
+        min_interval_s: float = 0.1,
+    ) -> None:
+        self.callback = callback
+        self.min_interval_s = min_interval_s
+        self._last_emit: Dict[str, float] = {}
+
+    def __bool__(self) -> bool:
+        return self.callback is not None
+
+    def update(self, phase: str, done: int, total: int) -> None:
+        """Report progress of ``phase``; rate-limited per phase."""
+        if self.callback is None:
+            return
+        now = time.perf_counter()
+        if done < total:
+            last = self._last_emit.get(phase)
+            if last is not None and now - last < self.min_interval_s:
+                return
+        self._last_emit[phase] = now
+        self.callback(phase, done, total)

@@ -32,6 +32,10 @@ class NetworkSimulation:
         An event engine to share; a fresh one is created by default.
     keep_samples:
         Per-path delay samples to retain verbatim (0 = aggregates only).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` handed to
+        the default-constructed :class:`Simulator` (ignored when an
+        engine is shared in).
     """
 
     def __init__(
@@ -39,9 +43,10 @@ class NetworkSimulation:
         network: Network,
         simulator: Optional[Simulator] = None,
         keep_samples: int = 0,
+        metrics=None,
     ):
         self.network = network
-        self.simulator = simulator if simulator is not None else Simulator()
+        self.simulator = simulator if simulator is not None else Simulator(metrics=metrics)
         self.tracer = DelayTracer(keep_samples=keep_samples)
         self._sequence: Dict[str, int] = {}
 

@@ -53,14 +53,17 @@ def simulate(
     scenario: TrafficScenario = TrafficScenario(),
     keep_samples: int = 0,
     simulation: Optional[NetworkSimulation] = None,
+    metrics=None,
 ) -> SimulationResult:
     """Run one scenario on a configuration and return observed delays.
 
     The returned maxima are *lower* witnesses for the worst case: every
     analytic bound must dominate them (asserted across the test suite).
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) makes
+    the default-constructed engine record event counts and run time.
     """
     if simulation is None:
-        simulation = NetworkSimulation(network, keep_samples=keep_samples)
+        simulation = NetworkSimulation(network, keep_samples=keep_samples, metrics=metrics)
     rng = random.Random(scenario.seed)
     horizon = scenario.duration_ms * 1000.0
     needs_rng = not scenario.periodic or not scenario.max_size

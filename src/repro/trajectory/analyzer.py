@@ -36,6 +36,8 @@ from repro.network.port import PortId
 from repro.network.port_graph import topological_port_order
 from repro.network.topology import Network
 from repro.network.validation import check_network
+from repro.obs.instrument import Instrumentation
+from repro.obs.logging import get_logger, kv
 from repro.trajectory.busy_period import busy_period_bound, interference_count
 from repro.trajectory.results import TrajectoryPathBound, TrajectoryResult
 from repro.trajectory.serialization import normalize_mode
@@ -47,6 +49,8 @@ from repro.trajectory.timing import (
 )
 
 __all__ = ["TrajectoryAnalyzer", "analyze_trajectory"]
+
+_LOG = get_logger("trajectory")
 
 _EPS = 1e-6
 
@@ -73,6 +77,14 @@ class TrajectoryAnalyzer:
         ``benchmarks/bench_ablation_fixpoint.py``.
     max_refinements:
         Upper bound on fixed-point sweeps.
+    collect_stats:
+        Record per-phase spans, counters and the sweep-convergence
+        trace (:mod:`repro.obs`) and attach them to the result's
+        ``stats`` field.  Off by default: the uninstrumented run is
+        bit-identical to the pre-observability analyzer.
+    progress:
+        Optional ``callable(phase, done, total)`` invoked as each
+        sweep walks the VL population.
     """
 
     def __init__(
@@ -81,6 +93,8 @@ class TrajectoryAnalyzer:
         serialization=True,
         refine_smax: bool = True,
         max_refinements: int = 8,
+        collect_stats: bool = False,
+        progress=None,
     ):
         if max_refinements < 1:
             raise ValueError(f"max_refinements must be >= 1, got {max_refinements}")
@@ -88,6 +102,7 @@ class TrajectoryAnalyzer:
         self.serialization_mode = normalize_mode(serialization)
         self.refine_smax = refine_smax
         self.max_refinements = max_refinements
+        self._obs = Instrumentation.create(collect_stats, progress)
         self._result: Optional[TrajectoryResult] = None
 
     # ------------------------------------------------------------------
@@ -97,21 +112,49 @@ class TrajectoryAnalyzer:
         if self._result is not None:
             return self._result
         network = self.network
-        check_network(network)
-        topological_port_order(network)  # raises CyclicRoutingError if cyclic
+        obs = self._obs
+        collect = obs.enabled
+        with obs.tracer.span("trajectory.validate"):
+            check_network(network)
+            topological_port_order(network)  # raises CyclicRoutingError if cyclic
 
-        nc_seed = analyze_network_calculus(network, grouping=True)
-        self._smin = compute_smin(network)
-        self._smax: Dict[FlowPortKey, float] = seed_smax_from_netcalc(network, nc_seed)
-        self._prefixes = tree_prefixes(network)
-        self._precompute_structure()
+        with obs.tracer.span("trajectory.nc_seed"):
+            nc_seed = analyze_network_calculus(network, grouping=True)
+        with obs.tracer.span("trajectory.precompute"):
+            self._smin = compute_smin(network)
+            self._smax: Dict[FlowPortKey, float] = seed_smax_from_netcalc(
+                network, nc_seed
+            )
+            self._prefixes = tree_prefixes(network)
+            self._precompute_structure()
 
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
         sweeps = 0
+        sweep_trace: List[Dict[str, object]] = []
         for _ in range(self.max_refinements):
-            bounds = self._sweep()
-            sweeps += 1
-            if not self.refine_smax or not self._tighten_smax(bounds):
+            with obs.tracer.span("trajectory.sweep", sweep=sweeps + 1) as span:
+                bounds = self._sweep()
+                sweeps += 1
+                stable = True
+                smax_updates = 0
+                max_delta = 0.0
+                if self.refine_smax:
+                    smax_updates, max_delta = self._tighten_smax(bounds)
+                    stable = smax_updates == 0
+                if collect:
+                    span.attrs.update(smax_updates=smax_updates)
+                    sweep_trace.append(
+                        {
+                            "sweep": sweeps,
+                            "smax_updates": smax_updates,
+                            "max_delta_us": round(max_delta, 6),
+                        }
+                    )
+                _LOG.debug(
+                    "sweep done %s",
+                    kv(sweep=sweeps, smax_updates=smax_updates, max_delta_us=max_delta),
+                )
+            if stable:
                 break
 
         result = TrajectoryResult(
@@ -135,6 +178,28 @@ class TrajectoryAnalyzer:
                 n_competitors=detail.n_competitors,
                 n_candidates=detail.n_candidates,
             )
+        if collect:
+            obs.metrics.counter("trajectory.sweeps", sweeps)
+            obs.metrics.counter("trajectory.tree_ports_visited", sweeps * len(bounds))
+            obs.metrics.counter(
+                "trajectory.competitors_met", sum(b.n_competitors for b in bounds.values())
+            )
+            obs.metrics.counter(
+                "trajectory.candidates_evaluated",
+                sum(b.n_candidates for b in bounds.values()),
+            )
+            obs.metrics.counter("trajectory.paths_bound", len(result.paths))
+            stats = obs.export()
+            stats["sweeps"] = sweep_trace
+            result.stats = stats
+        _LOG.debug(
+            "trajectory done %s",
+            kv(
+                sweeps=sweeps,
+                paths=len(result.paths),
+                serialization=self.serialization_mode,
+            ),
+        )
         self._result = result
         return result
 
@@ -176,15 +241,21 @@ class TrajectoryAnalyzer:
     # One fixed-point sweep
     # ------------------------------------------------------------------
 
-    def _tighten_smax(self, bounds: Dict[FlowPortKey, TrajectoryPathBound]) -> bool:
-        """One descending update of Smax; returns True if anything changed.
+    def _tighten_smax(
+        self, bounds: Dict[FlowPortKey, TrajectoryPathBound]
+    ) -> Tuple[int, float]:
+        """One descending update of Smax.
+
+        Returns ``(number of entries tightened, largest tightening in
+        us)`` — ``(0, 0.0)`` means the fixed point is stable.
 
         A frame of ``v`` arrives in the queue of port ``p_k`` at most
         ``R_v(prefix through p_{k-1}) + latency(p_k owner)`` after its
         release; taking the min with the previous value keeps the map a
         sound upper bound throughout.
         """
-        changed = False
+        changed = 0
+        max_delta = 0.0
         for (vl_name, pid), prefix in self._prefixes.items():
             if len(prefix) < 2:
                 continue
@@ -193,15 +264,24 @@ class TrajectoryAnalyzer:
                 bounds[(vl_name, upstream)].total_us
                 + self.network.node(pid[0]).technological_latency_us
             )
-            if candidate < self._smax[(vl_name, pid)] - _EPS:
+            delta = self._smax[(vl_name, pid)] - candidate
+            if delta > _EPS:
                 self._smax[(vl_name, pid)] = candidate
-                changed = True
-        return changed
+                changed += 1
+                if delta > max_delta:
+                    max_delta = delta
+        return changed, max_delta
 
     def _sweep(self) -> Dict[FlowPortKey, TrajectoryPathBound]:
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
-        for vl_name in self.network.virtual_links:
+        progress = self._obs.progress
+        vls = self.network.virtual_links
+        for index, vl_name in enumerate(vls):
+            if progress:
+                progress.update("trajectory.sweep", index, len(vls))
             self._walk_tree(vl_name, bounds)
+        if progress:
+            progress.update("trajectory.sweep", len(vls), len(vls))
         return bounds
 
     def _walk_tree(
@@ -391,6 +471,8 @@ def analyze_trajectory(
     serialization=True,
     refine_smax: bool = True,
     max_refinements: int = 8,
+    collect_stats: bool = False,
+    progress=None,
 ) -> TrajectoryResult:
     """One-shot convenience wrapper around :class:`TrajectoryAnalyzer`."""
     return TrajectoryAnalyzer(
@@ -398,4 +480,6 @@ def analyze_trajectory(
         serialization=serialization,
         refine_smax=refine_smax,
         max_refinements=max_refinements,
+        collect_stats=collect_stats,
+        progress=progress,
     ).analyze()

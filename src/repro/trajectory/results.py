@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.port import PortId
 
@@ -63,11 +63,16 @@ class TrajectoryResult:
         Number of ``Smax`` fixed-point sweeps actually performed.
     paths:
         Per-VL-path bounds, keyed by ``(vl_name, path_index)``.
+    stats:
+        Observability snapshot (counters / timers / phase spans plus
+        the ``sweeps`` convergence trace, see :mod:`repro.obs`) when
+        the analysis ran with ``collect_stats=True``; None otherwise.
     """
 
     serialization: str
     refinement_iterations: int = 0
     paths: Dict[FlowPathKey, TrajectoryPathBound] = field(default_factory=dict)
+    stats: Optional[Dict[str, object]] = None
 
     def bound_us(self, vl_name: str, path_index: int = 0) -> float:
         """End-to-end bound of one VL path, in microseconds."""

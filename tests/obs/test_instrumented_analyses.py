@@ -1,0 +1,79 @@
+"""End-to-end checks of analyzer instrumentation.
+
+The guarantees under test: ``collect_stats=True`` yields a complete
+stats snapshot (phases, counters, sweep trace) and never changes any
+bound; the default mode attaches nothing at all.
+"""
+
+from repro.netcalc.analyzer import analyze_network_calculus
+from repro.obs.instrument import OFF, Instrumentation
+from repro.trajectory.analyzer import analyze_trajectory
+
+
+def test_disabled_mode_attaches_no_stats(fig2):
+    nc = analyze_network_calculus(fig2)
+    trajectory = analyze_trajectory(fig2)
+    assert nc.stats is None
+    assert trajectory.stats is None
+
+
+def test_instrumentation_off_is_shared_singleton():
+    assert Instrumentation.create(False) is OFF
+    assert OFF.export() is None
+    assert Instrumentation.create(True) is not OFF
+
+
+def test_netcalc_stats_snapshot(fig2):
+    result = analyze_network_calculus(fig2, collect_stats=True)
+    stats = result.stats
+    assert stats is not None
+    span_names = {span["name"] for span in stats["spans"]}
+    assert {"netcalc.validate", "netcalc.toposort", "netcalc.propagate"} <= span_names
+    assert stats["counters"]["netcalc.ports_analyzed"] == len(result.ports)
+    assert stats["counters"]["netcalc.paths_bound"] == len(result.paths)
+
+
+def test_trajectory_smoke_reports_sweeps(fig2):
+    result = analyze_trajectory(fig2, collect_stats=True)
+    stats = result.stats
+    assert stats is not None
+    assert stats["counters"]["trajectory.sweeps"] >= 1
+    assert len(stats["sweeps"]) == result.refinement_iterations >= 1
+    # descending fixed point: the last recorded sweep is the stable one
+    assert stats["sweeps"][-1]["smax_updates"] == 0
+    assert all(entry["max_delta_us"] >= 0.0 for entry in stats["sweeps"])
+    assert stats["counters"]["trajectory.paths_bound"] == len(result.paths)
+
+
+def test_instrumented_bounds_bit_identical(fig2, small_industrial):
+    for network in (fig2, small_industrial):
+        plain_nc = analyze_network_calculus(network)
+        instr_nc = analyze_network_calculus(network, collect_stats=True)
+        assert {k: p.total_us for k, p in plain_nc.paths.items()} == {
+            k: p.total_us for k, p in instr_nc.paths.items()
+        }
+        plain_traj = analyze_trajectory(network)
+        instr_traj = analyze_trajectory(network, collect_stats=True)
+        assert {k: p.total_us for k, p in plain_traj.paths.items()} == {
+            k: p.total_us for k, p in instr_traj.paths.items()
+        }
+        assert plain_traj.refinement_iterations == instr_traj.refinement_iterations
+
+
+def test_progress_callback_receives_all_phases(fig2):
+    phases = set()
+    analyze_trajectory(fig2, progress=lambda phase, done, total: phases.add(phase))
+    assert "trajectory.sweep" in phases
+    phases.clear()
+    analyze_network_calculus(fig2, progress=lambda phase, done, total: phases.add(phase))
+    assert "netcalc.propagate" in phases
+
+
+def test_progress_totals_are_consistent(fig2):
+    events = []
+    analyze_trajectory(
+        fig2, progress=lambda phase, done, total: events.append((done, total))
+    )
+    assert events, "progress callback never invoked"
+    assert all(0 <= done <= total for done, total in events)
+    assert events[-1][0] == events[-1][1]  # completion always reported

@@ -1,0 +1,63 @@
+"""Logger hierarchy and the configure() helper."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import ROOT_LOGGER_NAME, configure, get_logger, kv
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    yield
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.handlers.clear()
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+def test_get_logger_namespacing():
+    assert get_logger().name == "repro"
+    assert get_logger("netcalc").name == "repro.netcalc"
+    assert get_logger("repro.trajectory").name == "repro.trajectory"
+
+
+def test_children_inherit_configuration():
+    stream = io.StringIO()
+    configure("DEBUG", stream=stream)
+    get_logger("netcalc").debug("propagation %s", kv(ports=12))
+    text = stream.getvalue()
+    assert "repro.netcalc" in text
+    assert "ports=12" in text
+
+
+def test_configure_is_idempotent():
+    first = io.StringIO()
+    second = io.StringIO()
+    configure("INFO", stream=first)
+    configure("INFO", stream=second)
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    assert len(root.handlers) == 1
+    get_logger("cli").info("hello")
+    assert "hello" not in first.getvalue()
+    assert "hello" in second.getvalue()
+
+
+def test_configure_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        configure("LOUD")
+
+
+def test_level_filtering():
+    stream = io.StringIO()
+    configure("WARNING", stream=stream)
+    get_logger("sim").info("quiet")
+    get_logger("sim").warning("loud")
+    assert "quiet" not in stream.getvalue()
+    assert "loud" in stream.getvalue()
+
+
+def test_kv_formatting():
+    assert kv(a=1, b=2.34567, c="plain") == "a=1 b=2.346 c=plain"
+    assert kv(msg="two words") == "msg='two words'"

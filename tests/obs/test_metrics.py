@@ -1,0 +1,110 @@
+"""Metrics registry: counters, gauges, timers, export, disabled mode."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, TimerStats
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    registry.counter("x")
+    registry.counter("x", 3)
+    assert registry.counter_value("x") == 5
+    assert registry.counter_value("never") == 0
+
+
+def test_gauge_keeps_latest_value():
+    registry = MetricsRegistry()
+    registry.gauge("g", 1.0)
+    registry.gauge("g", 42.5)
+    assert registry.gauge_value("g") == 42.5
+
+
+def test_timer_records_monotonic_elapsed():
+    registry = MetricsRegistry()
+    with registry.timer("t"):
+        time.sleep(0.01)
+    stats = registry.timer_stats("t")
+    assert stats.count == 1
+    assert stats.total_ms >= 5.0
+
+
+def test_timer_nesting_records_both_levels():
+    registry = MetricsRegistry()
+    with registry.timer("outer"):
+        with registry.timer("inner"):
+            pass
+        with registry.timer("inner"):
+            pass
+    assert registry.timer_stats("outer").count == 1
+    assert registry.timer_stats("inner").count == 2
+    # outer encloses both inner observations
+    assert registry.timer_stats("outer").total_ms >= registry.timer_stats("inner").total_ms
+
+
+def test_timer_reentrant_same_name():
+    registry = MetricsRegistry()
+    with registry.timer("t"):
+        with registry.timer("t"):
+            pass
+    assert registry.timer_stats("t").count == 2
+
+
+def test_timer_records_on_exception():
+    registry = MetricsRegistry()
+    with pytest.raises(RuntimeError):
+        with registry.timer("t"):
+            raise RuntimeError("boom")
+    assert registry.timer_stats("t").count == 1
+
+
+def test_json_export_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("a.count", 2)
+    registry.gauge("a.gauge", 1.25)
+    with registry.timer("a.timer"):
+        pass
+    snapshot = json.loads(json.dumps(registry.to_dict()))
+    assert snapshot["counters"] == {"a.count": 2}
+    assert snapshot["gauges"] == {"a.gauge": 1.25}
+    timer = snapshot["timers"]["a.timer"]
+    assert timer["count"] == 1
+    assert set(timer) == {"count", "total_ms", "mean_ms", "min_ms", "max_ms"}
+
+
+def test_disabled_registry_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    registry.counter("x")
+    registry.gauge("g", 1.0)
+    with registry.timer("t"):
+        pass
+    assert registry.to_dict() == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+def test_null_registry_shared_and_disabled():
+    assert NULL_REGISTRY.enabled is False
+    NULL_REGISTRY.counter("x")
+    assert NULL_REGISTRY.counter_value("x") == 0
+
+
+def test_clear_keeps_enabled_flag():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    registry.clear()
+    assert registry.enabled
+    assert registry.counter_value("x") == 0
+
+
+def test_timer_stats_aggregates():
+    stats = TimerStats()
+    stats.record(2.0)
+    stats.record(4.0)
+    assert stats.count == 2
+    assert stats.total_ms == 6.0
+    assert stats.mean_ms == 3.0
+    assert stats.min_ms == 2.0
+    assert stats.max_ms == 4.0

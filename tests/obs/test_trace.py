@@ -1,0 +1,86 @@
+"""Tracer spans, annotations, progress hook."""
+
+import json
+
+from repro.obs.trace import NULL_TRACER, ProgressHook, Tracer
+
+
+def test_spans_nest_into_a_tree():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("child_a"):
+            pass
+        with tracer.span("child_b"):
+            with tracer.span("grandchild"):
+                pass
+    roots = tracer.spans()
+    assert [span.name for span in roots] == ["root"]
+    assert [child.name for child in roots[0].children] == ["child_a", "child_b"]
+    assert roots[0].children[1].children[0].name == "grandchild"
+
+
+def test_span_durations_are_monotonic():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer = tracer.spans()[0]
+    inner = outer.children[0]
+    assert outer.duration_ms >= inner.duration_ms >= 0.0
+    assert inner.start_ms >= outer.start_ms
+
+
+def test_span_attrs_and_annotate():
+    tracer = Tracer()
+    with tracer.span("phase", n_ports=7) as span:
+        tracer.annotate(sweeps=3)
+        span.attrs["extra"] = True
+    entry = tracer.to_list()[0]
+    assert entry["attrs"] == {"n_ports": 7, "sweeps": 3, "extra": True}
+
+
+def test_to_list_is_json_compatible():
+    tracer = Tracer()
+    with tracer.span("a", label="x"):
+        with tracer.span("b"):
+            pass
+    round_tripped = json.loads(json.dumps(tracer.to_list()))
+    assert round_tripped[0]["name"] == "a"
+    assert round_tripped[0]["children"][0]["name"] == "b"
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    with tracer.span("x") as span:
+        assert span is None
+        tracer.annotate(ignored=1)
+    assert tracer.spans() == []
+    assert tracer.to_list() == []
+
+
+def test_null_tracer_is_disabled():
+    assert NULL_TRACER.enabled is False
+
+
+def test_progress_hook_forwards_and_rate_limits():
+    seen = []
+    hook = ProgressHook(lambda phase, done, total: seen.append((phase, done, total)),
+                        min_interval_s=3600.0)
+    hook.update("phase", 0, 10)    # first update always emits
+    hook.update("phase", 5, 10)    # rate-limited away
+    hook.update("phase", 10, 10)   # final update always emits
+    assert seen == [("phase", 0, 10), ("phase", 10, 10)]
+
+
+def test_progress_hook_without_callback_is_falsy_noop():
+    hook = ProgressHook(None)
+    assert not hook
+    hook.update("phase", 1, 2)  # must not raise
+
+
+def test_progress_hook_phases_are_independent():
+    seen = []
+    hook = ProgressHook(lambda *event: seen.append(event), min_interval_s=3600.0)
+    hook.update("a", 0, 2)
+    hook.update("b", 0, 2)
+    assert seen == [("a", 0, 2), ("b", 0, 2)]

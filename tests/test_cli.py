@@ -81,7 +81,7 @@ def test_unknown_experiment_rejected():
         main(["experiment", "fig99"])
 
 
-def test_validate_invalid_network_exits_nonzero(tmp_path, capsys):
+def test_validate_invalid_network_exits_with_config_code(tmp_path, capsys):
     # wire an ES twice by editing the JSON directly
     net = fig2_network()
     from repro.network import network_to_dict
@@ -91,11 +91,14 @@ def test_validate_invalid_network_exits_nonzero(tmp_path, capsys):
     data["links"].append({"a": "e1", "b": "S2", "rate_mbps": 100.0})
     path = tmp_path / "bad.json"
     path.write_text(json.dumps(data))
-    # the loader itself refuses the second ES link
-    from repro.errors import InvalidTopologyError
+    # the loader itself refuses the second ES link: one-line diagnostic,
+    # distinct exit code, no traceback
+    from repro.cli import EXIT_CONFIG_ERROR
 
-    with pytest.raises(InvalidTopologyError):
-        main(["validate", str(path)])
+    assert main(["validate", str(path)]) == EXIT_CONFIG_ERROR
+    err = capsys.readouterr().err
+    assert err.startswith("afdx: error:")
+    assert len(err.strip().splitlines()) == 1
 
 
 def test_analyze_jitter_flag(fig2_json, capsys):
@@ -125,3 +128,101 @@ def test_report_command_to_file(fig2_json, tmp_path, capsys):
     assert main(["report", fig2_json, "-o", out_path, "--top", "2"]) == 0
     text = (tmp_path / "report.txt").read_text()
     assert "Top 2 critical paths" in text
+
+
+def test_unstable_network_exits_with_distinct_code(tmp_path, capsys):
+    from repro.cli import EXIT_UNSTABLE
+    from repro.network import NetworkBuilder, network_to_json
+
+    builder = (
+        NetworkBuilder("unstable").switches("SW").end_systems("a", "d")
+        .link("a", "SW").link("SW", "d")
+    )
+    # 90 VLs at 1 ms BAG x 1500 B saturate the 100 Mbps output port
+    for index in range(90):
+        builder.virtual_link(
+            f"v{index}", source="a", destinations=["d"], bag_ms=1, s_max_bytes=1500
+        )
+    path = tmp_path / "unstable.json"
+    network_to_json(builder.build(validate=False), path)
+    assert main(["analyze", str(path)]) == EXIT_UNSTABLE
+    err = capsys.readouterr().err
+    assert err.startswith("afdx: error:")
+
+
+def test_analyze_metrics_json_manifest(fig2_json, tmp_path, capsys):
+    from repro.obs import validate_manifest
+
+    out = tmp_path / "manifest.json"
+    assert main(["analyze", fig2_json, "--metrics-json", str(out)]) == 0
+    manifest = json.loads(out.read_text())
+    validate_manifest(manifest)
+    assert manifest["command"] == "analyze"
+    assert manifest["config"]["name"] == "fig2"
+    assert manifest["config"]["n_paths"] == manifest["bounds"]["n_paths"] > 0
+    # per-phase timings from both analyzers
+    nc_spans = {s["name"] for s in manifest["analyzers"]["network_calculus"]["spans"]}
+    assert {"netcalc.validate", "netcalc.toposort", "netcalc.propagate"} <= nc_spans
+    traj = manifest["analyzers"]["trajectory"]
+    assert any(s["name"] == "trajectory.sweep" for s in traj["spans"])
+    # sweep-convergence trace, ending stable
+    assert traj["sweeps"][0]["sweep"] == 1
+    assert traj["sweeps"][-1]["smax_updates"] == 0
+    # per-analyzer path counts
+    assert traj["counters"]["trajectory.paths_bound"] == manifest["bounds"]["n_paths"]
+    assert (
+        manifest["analyzers"]["network_calculus"]["counters"]["netcalc.paths_bound"]
+        == manifest["bounds"]["n_paths"]
+    )
+
+
+def test_analyze_without_metrics_matches_seed_output(fig2_json, tmp_path, capsys):
+    assert main(["analyze", fig2_json]) == 0
+    plain = capsys.readouterr().out
+    out = tmp_path / "m.json"
+    assert main(["analyze", fig2_json, "--metrics-json", str(out)]) == 0
+    with_metrics = capsys.readouterr().out
+    assert plain == with_metrics  # instrumentation never changes the bounds
+
+
+def test_simulate_metrics_json(fig2_json, tmp_path, capsys):
+    from repro.obs import validate_manifest
+
+    out = tmp_path / "sim.json"
+    assert main(["simulate", fig2_json, "--duration-ms", "10", "--metrics-json", str(out)]) == 0
+    manifest = json.loads(out.read_text())
+    validate_manifest(manifest)
+    assert manifest["metrics"]["counters"]["sim.events_processed"] > 0
+    assert manifest["metrics"]["timers"]["cli.total"]["count"] == 1
+
+
+def test_experiment_metrics_json(tmp_path, capsys):
+    from repro.obs import validate_manifest
+
+    out = tmp_path / "exp.json"
+    assert main(["experiment", "fig3_4", "--metrics-json", str(out)]) == 0
+    manifest = json.loads(out.read_text())
+    validate_manifest(manifest)
+    assert "experiment.fig3_4" in manifest["metrics"]["timers"]
+
+
+def test_progress_flag_prints_phases(fig2_json, capsys):
+    assert main(["analyze", fig2_json, "--progress"]) == 0
+    err = capsys.readouterr().err
+    assert "netcalc.propagate" in err
+    assert "trajectory.sweep" in err
+
+
+def test_log_level_flag_enables_logging(fig2_json, capsys):
+    import logging
+
+    try:
+        assert main(["analyze", fig2_json, "--log-level", "debug"]) == 0
+        err = capsys.readouterr().err
+        assert "repro.trajectory" in err
+    finally:
+        # drop the handler bound to the captured stream
+        root = logging.getLogger("repro")
+        root.handlers.clear()
+        root.setLevel(logging.NOTSET)
+        root.propagate = True
