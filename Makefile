@@ -5,7 +5,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench
+.PHONY: check test bench bench-batch
 
 check:
 	sh scripts/check.sh
@@ -15,3 +15,8 @@ test:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+# Sequential vs parallel batch-engine timing; appends to
+# benchmarks/results/BENCH_batch.json (records cpu_count honestly).
+bench-batch:
+	python benchmarks/bench_batch.py

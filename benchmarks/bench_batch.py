@@ -1,0 +1,105 @@
+"""Sequential vs parallel wall time of the batch-analysis engine.
+
+Standalone script (not a pytest-benchmark module): it times
+``BatchAnalyzer.combined()`` on an industrial configuration with
+``jobs=1`` (the sequential delegate) and with a worker pool, verifies
+the two results are bit-identical, and *appends* a record to
+``benchmarks/results/BENCH_batch.json`` so speedups are tracked across
+machines and revisions.
+
+The record keeps ``cpu_count`` alongside the timings: on a single-core
+box the pool cannot beat the sequential path and the honest speedup is
+<= 1.0 (pure fork/pickle overhead) — see docs/BATCH.md.
+
+Usage::
+
+    make bench-batch
+    python benchmarks/bench_batch.py [--vls N] [--jobs N] [--runs N]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.batch import BatchAnalyzer  # noqa: E402
+from repro.batch.pool import resolve_jobs  # noqa: E402
+from repro.configs.industrial import (  # noqa: E402
+    IndustrialConfigSpec,
+    industrial_network,
+)
+
+RESULTS_PATH = REPO / "benchmarks" / "results" / "BENCH_batch.json"
+
+
+def _best_of(fn, runs):
+    best = None
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vls", type=int, default=120,
+                        help="industrial configuration size (default 120)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker count for the parallel run "
+                             "(0 = all cores, floored at 2)")
+    parser.add_argument("--runs", type=int, default=2,
+                        help="timed repetitions; best-of is recorded")
+    args = parser.parse_args(argv)
+
+    network = industrial_network(IndustrialConfigSpec(n_virtual_links=args.vls))
+    # Always exercise the pool path, even on a single-core machine —
+    # the point of the record is the honest overhead/speedup number.
+    jobs = max(2, resolve_jobs(args.jobs))
+
+    seq, seq_s = _best_of(BatchAnalyzer(network, jobs=1).combined, args.runs)
+    par, par_s = _best_of(BatchAnalyzer(network, jobs=jobs).combined, args.runs)
+
+    assert list(seq.paths) == list(par.paths)
+    for key in seq.paths:
+        assert seq.paths[key] == par.paths[key], key
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S+0000"),
+        "n_virtual_links": args.vls,
+        "n_paths": len(seq.paths),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "runs": args.runs,
+        "sequential_s": round(seq_s, 4),
+        "parallel_s": round(par_s, 4),
+        "speedup": round(seq_s / par_s, 3),
+        "bit_identical": True,
+    }
+
+    history = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    history.append(record)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(
+        f"industrial({args.vls} VLs, {record['n_paths']} paths) on "
+        f"{record['cpu_count']} CPU(s): sequential {seq_s:.3f}s, "
+        f"jobs={jobs} {par_s:.3f}s, speedup {record['speedup']:.2f}x "
+        f"(bit-identical) -> {RESULTS_PATH.relative_to(REPO)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

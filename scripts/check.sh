@@ -18,4 +18,9 @@ python -m compileall -q src
 echo "== pytest (tier-1) =="
 python -m pytest -x -q
 
+echo "== batch --jobs equivalence (jobs=1 sequential vs pooled) =="
+python -m pytest -x -q \
+    tests/batch/test_batch_analyzer.py::TestJobsOne \
+    tests/batch/test_batch_analyzer.py::TestBitIdenticalFig2
+
 echo "check OK"

@@ -1,0 +1,43 @@
+"""Parallel batch-analysis engine.
+
+Fans the repository's three analyses — Network Calculus, Trajectory and
+the combined approach — across a :mod:`multiprocessing` pool while
+guaranteeing results bit-identical to the sequential analyzers, and
+provides the ``batch_sweep`` soundness-fuzzing harness that analyzes
+and simulates many seeded random configurations hunting for
+``simulated > bound`` violations (the regression class behind the
+``random_network(589)`` bug).
+
+Entry points
+------------
+
+:class:`BatchAnalyzer`
+    ``network_calculus()`` / ``trajectory()`` / ``combined()`` with a
+    ``jobs`` knob; ``jobs=1`` delegates to the sequential analyzers.
+:func:`batch_sweep`
+    Whole-configuration fan-out over seeded ``random_network`` configs,
+    each analyzed and simulated, returning a violation report.
+
+See ``docs/BATCH.md`` for the design and the cache-sharing model.
+"""
+
+from repro.batch.analyzer import BatchAnalyzer
+from repro.batch.pool import WorkerPool, chunked
+from repro.batch.sweep import (
+    SweepConfigRecord,
+    SweepReport,
+    SweepSpec,
+    SweepViolation,
+    batch_sweep,
+)
+
+__all__ = [
+    "BatchAnalyzer",
+    "WorkerPool",
+    "chunked",
+    "SweepSpec",
+    "SweepViolation",
+    "SweepConfigRecord",
+    "SweepReport",
+    "batch_sweep",
+]

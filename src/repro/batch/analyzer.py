@@ -1,0 +1,399 @@
+"""The :class:`BatchAnalyzer`: parallel drivers for the three analyses.
+
+Parallel decomposition per method
+---------------------------------
+
+**Network Calculus** — the propagation is a wavefront over the port
+graph: :func:`repro.network.port_graph.port_levels` groups the output
+ports by longest-path depth, every port of one level is independent
+given the previous levels' delays, so each level's ports fan across the
+pool.  Workers hold a persistent :class:`NetworkCalculusAnalyzer`
+(topology, port-flow sets, grouping tables) and receive only
+``(port, entering buckets)`` pairs; the coordinator keeps the (cheap)
+burst-inflation bookkeeping and assembles the result **in the
+sequential topological order**, so the result is bit-identical to the
+sequential analyzer's.
+
+**Trajectory** — one fixed-point sweep walks every VL tree with a
+frozen ``Smax`` map, and the walks of different VLs are independent
+(see :meth:`TrajectoryAnalyzer.sweep_vls`).  The coordinator prepares
+one analyzer (computing the Network Calculus seed exactly once), ships
+the seed to every worker through the pool payload, and then fans each
+sweep's VL chunks across workers that hold a fully *prepared* analyzer
+— per-node busy-period horizons, meeting structures and serialization
+terms are memoized inside each worker and reused across sweeps.
+Between sweeps the coordinator runs the (sequential, cheap)
+``tighten_smax`` contraction and broadcasts the cumulative tightened
+entries with the next round of tasks, so every worker sweeps with the
+exact ``Smax`` map the sequential analyzer would have used —
+bit-identical bounds, sweep for sweep.
+
+**Combined** — Network Calculus first (parallel), its result seeds the
+parallel trajectory run (the seed the sequential path would recompute),
+then the per-path minimum is taken on the coordinator.
+
+``jobs=1`` never touches :mod:`multiprocessing`: every method delegates
+to the sequential analyzer, which keeps the default CLI path exactly as
+fast and exactly as deterministic as before the batch engine existed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.curves import LeakyBucket
+from repro.netcalc.analyzer import NetworkCalculusAnalyzer, analyze_network_calculus
+from repro.netcalc.results import NetworkCalculusResult, PortAnalysis
+from repro.network.port import PortId
+from repro.network.port_graph import port_levels, topological_port_order
+from repro.network.topology import Network
+from repro.network.validation import check_network
+from repro.obs.instrument import Instrumentation
+from repro.obs.logging import get_logger, kv
+from repro.batch.pool import WorkerPool, chunked, resolve_jobs, worker_state
+from repro.core.combined import analyze_network, build_comparison
+from repro.core.results import AnalysisResult
+from repro.trajectory.analyzer import TrajectoryAnalyzer, analyze_trajectory
+from repro.trajectory.results import TrajectoryPathBound, TrajectoryResult
+from repro.trajectory.timing import FlowPortKey, seed_smax_from_netcalc
+
+__all__ = ["BatchAnalyzer"]
+
+_LOG = get_logger("batch")
+
+
+@dataclass
+class _Payload:
+    """Everything a worker needs, delivered once per process."""
+
+    network: Network
+    grouping: bool = True
+    frame_overhead_bytes: float = 0.0
+    serialization: object = True
+    smax_seed: Optional[Dict[FlowPortKey, float]] = None
+
+
+def _build_nc_analyzer(payload: _Payload) -> NetworkCalculusAnalyzer:
+    return NetworkCalculusAnalyzer(
+        payload.network,
+        grouping=payload.grouping,
+        frame_overhead_bytes=payload.frame_overhead_bytes,
+    )
+
+
+def _nc_worker(
+    task: List[Tuple[PortId, Dict[str, LeakyBucket]]]
+) -> Tuple[List[Tuple[PortId, PortAnalysis]], float]:
+    """Analyze one chunk of a propagation level; returns busy seconds too."""
+    analyzer = worker_state("netcalc", _build_nc_analyzer)
+    start = time.perf_counter()
+    out = [(port_id, analyzer.analyze_port(port_id, buckets)) for port_id, buckets in task]
+    return out, time.perf_counter() - start
+
+
+def _build_trajectory_analyzer(payload: _Payload) -> TrajectoryAnalyzer:
+    analyzer = TrajectoryAnalyzer(
+        payload.network, serialization=payload.serialization, refine_smax=False
+    )
+    analyzer.prepare(smax_seed=payload.smax_seed)
+    return analyzer
+
+
+def _trajectory_worker(
+    task: Tuple[List[str], Dict[FlowPortKey, float]]
+) -> Tuple[Dict[FlowPortKey, TrajectoryPathBound], Dict[str, Tuple[int, int]], int, float]:
+    """Sweep one VL chunk with the coordinator's current ``Smax`` map.
+
+    The second task element is the *cumulative* set of entries the
+    coordinator tightened since the seed; applying it is idempotent, so
+    a worker that missed a sweep (received no task that round) catches
+    up on its next task.  Returns ``(prefix bounds, cache stats, pid,
+    busy seconds)`` — the pid keys the per-worker cache statistics on
+    the coordinator.
+    """
+    import os
+
+    chunk, smax_updates = task
+    analyzer = worker_state("trajectory", _build_trajectory_analyzer)
+    if smax_updates:
+        analyzer.apply_smax_updates(smax_updates)
+    start = time.perf_counter()
+    bounds = analyzer.sweep_vls(chunk)
+    busy = time.perf_counter() - start
+    return bounds, analyzer.cache_stats(), os.getpid(), busy
+
+
+@dataclass
+class _PoolStats:
+    """Worker accounting for one parallel phase."""
+
+    tasks: int = 0
+    busy_s: float = 0.0
+    wall_s: float = 0.0
+    jobs: int = 1
+    cache_stats: Dict[int, Dict[str, Tuple[int, int]]] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        if self.wall_s <= 0.0 or self.jobs < 1:
+            return 0.0
+        return min(1.0, self.busy_s / (self.wall_s * self.jobs))
+
+    def merged_cache_stats(self) -> Dict[str, Tuple[int, int]]:
+        """Final per-worker cache counters summed across workers."""
+        totals: Dict[str, List[int]] = {}
+        for per_worker in self.cache_stats.values():
+            for name, (hits, misses) in per_worker.items():
+                slot = totals.setdefault(name, [0, 0])
+                slot[0] += hits
+                slot[1] += misses
+        return {name: (h, m) for name, (h, m) in totals.items()}
+
+
+class BatchAnalyzer:
+    """Parallel front-end over the sequential analyzers.
+
+    Parameters
+    ----------
+    network:
+        The configuration to analyze (not mutated).
+    jobs:
+        Worker process count.  ``1`` (the default) delegates to the
+        sequential analyzers — no pool, bit-identical, zero overhead.
+        ``0`` means one worker per CPU core.
+    grouping / frame_overhead_bytes:
+        Forwarded to the Network Calculus analyzer.
+    serialization / refine_smax / max_refinements:
+        Forwarded to the Trajectory analyzer.
+    collect_stats / progress:
+        Observability (:mod:`repro.obs`): when enabled, worker
+        utilization, chunk counts and per-worker cache hit-rates land
+        in the result's ``stats`` field (and from there in the run
+        manifest).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        jobs: int = 1,
+        grouping: bool = True,
+        frame_overhead_bytes: float = 0.0,
+        serialization: object = True,
+        refine_smax: bool = True,
+        max_refinements: int = 8,
+        collect_stats: bool = False,
+        progress=None,
+    ) -> None:
+        self.network = network
+        self.jobs = resolve_jobs(jobs)
+        self.grouping = grouping
+        self.frame_overhead_bytes = frame_overhead_bytes
+        self.serialization = serialization
+        self.refine_smax = refine_smax
+        self.max_refinements = max_refinements
+        self.collect_stats = collect_stats
+        self._progress = progress
+
+    # ------------------------------------------------------------------
+    # Network Calculus
+    # ------------------------------------------------------------------
+
+    def network_calculus(self) -> NetworkCalculusResult:
+        """Level-parallel Network Calculus propagation."""
+        if self.jobs == 1:
+            return analyze_network_calculus(
+                self.network,
+                grouping=self.grouping,
+                frame_overhead_bytes=self.frame_overhead_bytes,
+                collect_stats=self.collect_stats,
+                progress=self._progress,
+            )
+        network = self.network
+        obs = Instrumentation.create(self.collect_stats, self._progress)
+        check_network(network)
+        order = topological_port_order(network)
+        levels = port_levels(network)
+        coordinator = NetworkCalculusAnalyzer(
+            network,
+            grouping=self.grouping,
+            frame_overhead_bytes=self.frame_overhead_bytes,
+        )
+        entering = coordinator.ingress_buckets()
+        analyses: Dict[PortId, PortAnalysis] = {}
+        stats = _PoolStats(jobs=self.jobs)
+        payload = _Payload(
+            network=network,
+            grouping=self.grouping,
+            frame_overhead_bytes=self.frame_overhead_bytes,
+        )
+        progress = obs.progress
+        started = time.perf_counter()
+        with obs.tracer.span(
+            "batch.netcalc", jobs=self.jobs, n_ports=len(order), n_levels=len(levels)
+        ):
+            with WorkerPool(self.jobs, payload) as pool:
+                done = 0
+                for level in levels:
+                    tasks = chunked(
+                        [
+                            (
+                                port_id,
+                                {
+                                    name: entering[(name, port_id)]
+                                    for name in network.vls_at_port(port_id)
+                                },
+                            )
+                            for port_id in level
+                        ],
+                        self.jobs * 2,
+                    )
+                    for chunk_result, busy in pool.map(_nc_worker, tasks):
+                        stats.tasks += 1
+                        stats.busy_s += busy
+                        for port_id, analysis in chunk_result:
+                            analyses[port_id] = analysis
+                    # burst inflation stays on the coordinator: one
+                    # writer per (flow, port) entry, so order is free
+                    for port_id in level:
+                        coordinator.propagate_port(
+                            entering, port_id, analyses[port_id].delay_us
+                        )
+                    done += len(level)
+                    if progress:
+                        progress.update("batch.netcalc", done, len(order))
+        stats.wall_s = time.perf_counter() - started
+
+        result = NetworkCalculusResult(grouping=self.grouping)
+        for port_id in order:  # sequential insertion order, bit for bit
+            result.ports[port_id] = analyses[port_id]
+        port_delay = {port_id: analyses[port_id].delay_us for port_id in order}
+        coordinator.finalize_paths(result, port_delay)
+        if obs.enabled:
+            self._export_pool_stats(obs, "netcalc", stats)
+            result.stats = obs.export()
+        _LOG.debug(
+            "batch netcalc done %s",
+            kv(jobs=self.jobs, ports=len(order), levels=len(levels), tasks=stats.tasks),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Trajectory
+    # ------------------------------------------------------------------
+
+    def trajectory(
+        self, smax_seed: Optional[Dict[FlowPortKey, float]] = None
+    ) -> TrajectoryResult:
+        """Parallel trajectory fixed point (per-VL sweep fan-out)."""
+        if self.jobs == 1:
+            return analyze_trajectory(
+                self.network,
+                serialization=self.serialization,
+                refine_smax=self.refine_smax,
+                max_refinements=self.max_refinements,
+                collect_stats=self.collect_stats,
+                progress=self._progress,
+            )
+        network = self.network
+        obs = Instrumentation.create(self.collect_stats, self._progress)
+        coordinator = TrajectoryAnalyzer(
+            network,
+            serialization=self.serialization,
+            refine_smax=self.refine_smax,
+            max_refinements=self.max_refinements,
+        )
+        coordinator.prepare(smax_seed=smax_seed)
+        # same walk order as the sequential sweep; chunked contiguously
+        vl_names = list(network.virtual_links)
+        chunks = chunked(vl_names, self.jobs * 4)
+        payload = _Payload(
+            network=network,
+            serialization=self.serialization,
+            smax_seed=coordinator.smax_snapshot(),
+        )
+        cumulative: Dict[FlowPortKey, float] = {}
+        bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
+        sweeps = 0
+        stats = _PoolStats(jobs=self.jobs)
+        progress = obs.progress
+        started = time.perf_counter()
+        with obs.tracer.span(
+            "batch.trajectory", jobs=self.jobs, n_vls=len(vl_names), n_chunks=len(chunks)
+        ):
+            with WorkerPool(self.jobs, payload) as pool:
+                for _ in range(self.max_refinements):
+                    tasks = [(chunk, dict(cumulative)) for chunk in chunks]
+                    bounds = {}
+                    for chunk_bounds, cache_stats, pid, busy in pool.map(
+                        _trajectory_worker, tasks
+                    ):
+                        stats.tasks += 1
+                        stats.busy_s += busy
+                        stats.cache_stats[pid] = cache_stats
+                        bounds.update(chunk_bounds)
+                    sweeps += 1
+                    if progress:
+                        progress.update("batch.trajectory.sweep", sweeps, sweeps)
+                    stable = True
+                    if self.refine_smax:
+                        updates, _ = coordinator.tighten_smax(bounds)
+                        stable = not updates
+                        cumulative.update(updates)
+                    if stable:
+                        break
+        stats.wall_s = time.perf_counter() - started
+
+        result = coordinator.build_result(bounds, sweeps)
+        if obs.enabled:
+            obs.metrics.counter("trajectory.sweeps", sweeps)
+            for name, (hits, misses) in sorted(stats.merged_cache_stats().items()):
+                obs.metrics.counter(f"trajectory.{name}_cache_hits", hits)
+                obs.metrics.counter(f"trajectory.{name}_cache_misses", misses)
+            self._export_pool_stats(obs, "trajectory", stats)
+            result.stats = obs.export()
+        _LOG.debug(
+            "batch trajectory done %s",
+            kv(jobs=self.jobs, sweeps=sweeps, paths=len(result.paths)),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Combined
+    # ------------------------------------------------------------------
+
+    def combined(self) -> AnalysisResult:
+        """Both analyses (parallel) and their per-path minimum."""
+        if self.jobs == 1:
+            return analyze_network(
+                self.network,
+                grouping=self.grouping,
+                serialization=self.serialization,
+                refine_smax=self.refine_smax,
+                collect_stats=self.collect_stats,
+                progress=self._progress,
+            )
+        nc_result = self.network_calculus()
+        # the sequential path seeds Smax from a grouping=True NC run;
+        # reuse ours when it matches, otherwise let the trajectory
+        # coordinator compute its own grouped seed
+        seed = (
+            seed_smax_from_netcalc(self.network, nc_result) if self.grouping else None
+        )
+        trajectory_result = self.trajectory(smax_seed=seed)
+        return build_comparison(nc_result, trajectory_result)
+
+    # ------------------------------------------------------------------
+
+    def _export_pool_stats(
+        self, obs: Instrumentation, phase: str, stats: _PoolStats
+    ) -> None:
+        metrics = obs.metrics
+        metrics.gauge(f"batch.{phase}.jobs", stats.jobs)
+        metrics.counter(f"batch.{phase}.tasks", stats.tasks)
+        metrics.counter(f"batch.{phase}.worker_busy_ms", round(stats.busy_s * 1e3, 3))
+        metrics.gauge(f"batch.{phase}.wall_ms", round(stats.wall_s * 1e3, 3))
+        metrics.gauge(
+            f"batch.{phase}.worker_utilization", round(stats.utilization, 4)
+        )

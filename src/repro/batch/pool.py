@@ -1,0 +1,144 @@
+"""Worker-pool plumbing shared by the batch engine.
+
+A thin, deterministic wrapper over :class:`multiprocessing.pool.Pool`:
+
+* **fork first** — the coordinator prefers the ``fork`` start method so
+  workers inherit the (read-only) network topology for free; on
+  platforms without it the payload travels through the ``spawn``
+  initializer instead.  Either way the payload is delivered exactly
+  once per worker, not once per task.
+* **persistent per-worker state** — the initializer parks the payload
+  in a module global; task functions lazily build whatever expensive
+  state they need from it (a prepared analyzer, cached port-flow sets)
+  and reuse it across every task the worker receives.
+* **ordered results** — ``map()`` returns results in task-submission
+  order regardless of which worker finished first, so merging is
+  deterministic by construction.
+* **error transparency** — the analysis exceptions
+  (:mod:`repro.errors`) are picklable; a worker raising one surfaces
+  unchanged in the coordinator, where the CLI's existing handler maps
+  it to exit codes 3/4/5.
+
+The pool deliberately exposes only what the batch engine needs; it is
+not a general task framework.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["WorkerPool", "chunked", "resolve_jobs"]
+
+T = TypeVar("T")
+
+#: Payload slot filled by :func:`_init_worker` in every pool process.
+_WORKER_PAYLOAD: Optional[Any] = None
+#: Lazily-built per-worker state, keyed by task family (see ``worker_state``).
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(payload: Any) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+    _WORKER_STATE.clear()
+
+
+def worker_payload() -> Any:
+    """The payload the coordinator shipped to this worker process."""
+    return _WORKER_PAYLOAD
+
+
+def worker_state(key: str, build: Callable[[Any], T]) -> T:
+    """Per-worker memo: build once from the payload, reuse per task."""
+    try:
+        return _WORKER_STATE[key]
+    except KeyError:
+        state = build(_WORKER_PAYLOAD)
+        _WORKER_STATE[key] = state
+        return state
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 1 (or 0 for all cores), got {jobs}")
+    return jobs
+
+
+def chunked(items: Sequence[T], n_chunks: int) -> List[List[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced runs.
+
+    Chunk sizes differ by at most one and concatenating the chunks
+    reproduces ``items`` exactly — the property the coordinator relies
+    on for deterministic merges.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    items = list(items)
+    n_chunks = min(n_chunks, len(items)) or 1
+    base, extra = divmod(len(items), n_chunks)
+    chunks: List[List[T]] = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            break
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+class WorkerPool:
+    """A process pool carrying one shared payload to every worker.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (already resolved; must be >= 2 — a
+        single-job run should bypass the pool entirely and call the
+        sequential code path).
+    payload:
+        Arbitrary picklable object delivered once to each worker via
+        the pool initializer; task functions read it back with
+        :func:`worker_payload` / :func:`worker_state`.
+    """
+
+    def __init__(self, jobs: int, payload: Any) -> None:
+        if jobs < 2:
+            raise ValueError(f"WorkerPool needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else None
+        context = multiprocessing.get_context(method)
+        self._pool = context.Pool(
+            processes=jobs, initializer=_init_worker, initargs=(payload,)
+        )
+
+    def map(self, func: Callable[[Any], T], tasks: Iterable[Any]) -> List[T]:
+        """Run ``func`` over ``tasks``; results in task order.
+
+        A worker exception aborts the call and re-raises in the
+        coordinator (pickled through the pool's result queue).
+        """
+        return self._pool.map(func, tasks, chunksize=1)
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def terminate(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()

@@ -15,6 +15,14 @@ Subcommands
     analytic bounds.
 ``afdx experiment {table1,fig3_4,fig5,fig6,fig7,fig8,fig9}``
     Regenerate one of the paper's tables/figures.
+``afdx batch-sweep``
+    Soundness fuzzing: analyze + simulate many seeded random
+    configurations in parallel and report any path whose observed
+    delay exceeds a claimed bound (see ``docs/BATCH.md``).
+
+``analyze``, ``experiment`` and ``batch-sweep`` accept ``--jobs N`` to
+fan the analysis across N worker processes (``repro.batch``); results
+are bit-identical to the sequential ``--jobs 1`` default.
 
 Observability (every subcommand)
 --------------------------------
@@ -41,6 +49,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
+from repro.batch import BatchAnalyzer, SweepSpec, batch_sweep
 from repro.configs import (
     IndustrialConfigSpec,
     fig1_network,
@@ -67,6 +76,7 @@ from repro.obs.manifest import bound_summary
 from repro.obs.trace import ProgressHook
 from repro.sim.scenarios import TrafficScenario, simulate
 from repro.trajectory.analyzer import analyze_trajectory
+from repro.trajectory.timing import seed_smax_from_netcalc
 
 __all__ = [
     "main",
@@ -135,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jitter", action="store_true",
         help="also print the per-path jitter bound (bound - uncontended floor)",
     )
+    analyze.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = sequential, 0 = all cores); "
+        "results are bit-identical for any N",
+    )
 
     validate = sub.add_parser("validate", parents=[obs], help="check a configuration")
     validate.add_argument("config", help="configuration JSON file")
@@ -182,6 +197,39 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--csv", default=None, metavar="FILE",
         help="also write the artefact as CSV",
+    )
+    experiment.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the industrial-config experiments "
+        "(table1, fig5, fig6); bit-identical for any N",
+    )
+
+    sweep = sub.add_parser(
+        "batch-sweep", parents=[obs],
+        help="fuzz many seeded random configurations for bound soundness",
+    )
+    sweep.add_argument(
+        "--configs", type=int, default=50, metavar="N",
+        help="number of seeded random configurations (default 50)",
+    )
+    sweep.add_argument(
+        "--base-seed", type=int, default=0, metavar="SEED",
+        help="first topology seed; configs use SEED..SEED+N-1",
+    )
+    sweep.add_argument("--switches", type=int, default=3, metavar="N")
+    sweep.add_argument("--end-systems", type=int, default=6, metavar="N")
+    sweep.add_argument("--vls", type=int, default=6, metavar="N")
+    sweep.add_argument(
+        "--scenarios", type=int, default=2, metavar="N",
+        help="traffic scenarios simulated per configuration (default 2)",
+    )
+    sweep.add_argument(
+        "--duration-ms", type=float, default=5.0,
+        help="simulated time per scenario in ms (default 5)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = sequential, 0 = all cores)",
     )
 
     return parser
@@ -237,18 +285,23 @@ def _manifest_options(args: argparse.Namespace) -> Dict[str, object]:
 def _cmd_analyze(args: argparse.Namespace, ctx: _RunContext) -> int:
     network = network_from_json(args.config)
     ctx.set_config(network, source=args.config)
-    nc = analyze_network_calculus(
+    batch = BatchAnalyzer(
         network,
+        jobs=args.jobs,
         grouping=not args.no_grouping,
-        collect_stats=ctx.collect,
-        progress=ctx.progress,
-    )
-    trajectory = analyze_trajectory(
-        network,
         serialization=args.serialization,
         collect_stats=ctx.collect,
         progress=ctx.progress,
     )
+    nc = batch.network_calculus()
+    # with workers, reuse the NC result as the trajectory's Smax seed
+    # (the sequential path recomputes the identical grouped-NC seed)
+    seed = (
+        seed_smax_from_netcalc(network, nc)
+        if batch.jobs > 1 and not args.no_grouping
+        else None
+    )
+    trajectory = batch.trajectory(smax_seed=seed)
     result = analyze_network(network, nc_result=nc, trajectory_result=trajectory)
     result.stats = summarize(result.paths.values())
     if ctx.collect:
@@ -348,6 +401,8 @@ def _cmd_experiment(args: argparse.Namespace, ctx: _RunContext) -> int:
     kwargs = {}
     if args.vls is not None and args.id in ("table1", "fig5", "fig6"):
         kwargs["spec"] = IndustrialConfigSpec(n_virtual_links=args.vls)
+    if args.jobs != 1 and args.id in ("table1", "fig5", "fig6"):
+        kwargs["jobs"] = args.jobs
     result = run_experiment(args.id, metrics=ctx.metrics, **kwargs)
     print(result.render())
     if args.csv:
@@ -356,6 +411,25 @@ def _cmd_experiment(args: argparse.Namespace, ctx: _RunContext) -> int:
         Path(args.csv).write_text(result.to_csv())
         print(f"(csv written to {args.csv})")
     return EXIT_OK
+
+
+def _cmd_batch_sweep(args: argparse.Namespace, ctx: _RunContext) -> int:
+    spec = SweepSpec(
+        configs=args.configs,
+        base_seed=args.base_seed,
+        n_switches=args.switches,
+        n_end_systems=args.end_systems,
+        n_virtual_links=args.vls,
+        scenarios_per_config=args.scenarios,
+        duration_ms=args.duration_ms,
+    )
+    report = batch_sweep(
+        spec, jobs=args.jobs, collect_stats=ctx.collect, progress=ctx.progress
+    )
+    print(report.render())
+    if ctx.collect and report.stats is not None:
+        ctx.analyzers = {"batch_sweep": report.stats}
+    return EXIT_FAILURE if report.violations else EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace, ctx: _RunContext) -> int:
@@ -386,6 +460,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "report": _cmd_report,
     "experiment": _cmd_experiment,
+    "batch-sweep": _cmd_batch_sweep,
 }
 
 

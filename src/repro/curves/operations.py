@@ -76,11 +76,45 @@ def _segment_crossings(f: PiecewiseCurve, g: PiecewiseCurve, xs: List[float]) ->
     return crossings
 
 
+def _concave_envelope(points: List[tuple], tail_slope: float) -> List[tuple]:
+    """Upper concave hull of sampled points (Andrew monotone chain).
+
+    When the true curve is known to be concave, sampled breakpoints can
+    still violate slope monotonicity by floating-point noise: a
+    crossing computed by :func:`_segment_crossings` may land within
+    ~1e-6 of an existing knot, and the micro-segment between them gets
+    a garbage slope (tiny Δy / tiny Δx).  A point participating in a
+    slope *increase* lies below the chord of its neighbours, so popping
+    it restores concavity while moving the curve by at most the noise
+    amplitude.
+    """
+    hull: List[tuple] = []
+    for x, y in points:
+        while len(hull) >= 2:
+            (x0, y0), (x1, y1) = hull[-2], hull[-1]
+            if (y1 - y0) * (x - x1) < (y - y1) * (x1 - x0):  # slope increases at x1
+                hull.pop()
+            else:
+                break
+        hull.append((x, y))
+    # the tail slope must not exceed the last segment's slope either
+    while len(hull) >= 2:
+        (x0, y0), (x1, y1) = hull[-2], hull[-1]
+        if tail_slope * (x1 - x0) > (y1 - y0):
+            hull.pop()
+        else:
+            break
+    return hull
+
+
 def min_curves(f: PiecewiseCurve, g: PiecewiseCurve) -> PiecewiseCurve:
     """Pointwise minimum of two curves.
 
     The minimum of two concave curves is concave; this implements the
     grouping technique's ``min(sum of flows, link shaping curve)``.
+    For concave inputs the result is snapped to its upper concave hull,
+    which discards breakpoints that only exist as floating-point noise
+    (see :func:`_concave_envelope`).
     """
     xs = sorted({x for x, _ in f.breakpoints} | {x for x, _ in g.breakpoints})
     xs = sorted(set(xs) | set(_segment_crossings(f, g, xs)))
@@ -92,6 +126,8 @@ def min_curves(f: PiecewiseCurve, g: PiecewiseCurve) -> PiecewiseCurve:
         tail_slope = g.final_slope
     else:
         tail_slope = min(f.final_slope, g.final_slope)
+    if f.is_concave() and g.is_concave():
+        points = _concave_envelope(points, tail_slope)
     return PiecewiseCurve(points, tail_slope)
 
 

@@ -19,11 +19,13 @@ __all__ = ["run_fig5"]
 
 
 @register("fig5")
-def run_fig5(spec: Optional[IndustrialConfigSpec] = None) -> ExperimentResult:
+def run_fig5(
+    spec: Optional[IndustrialConfigSpec] = None, jobs: int = 1
+) -> ExperimentResult:
     """Mean Trajectory-over-WCNC benefit for each BAG value."""
     spec = spec if spec is not None else IndustrialConfigSpec()
     network = industrial_config(spec)
-    comparison = industrial_comparison(spec)
+    comparison = industrial_comparison(spec, jobs=jobs)
 
     buckets = {}
     for path in comparison.paths.values():

@@ -23,12 +23,14 @@ _BIN_BYTES = 150
 
 @register("fig6")
 def run_fig6(
-    spec: Optional[IndustrialConfigSpec] = None, bin_bytes: int = _BIN_BYTES
+    spec: Optional[IndustrialConfigSpec] = None,
+    bin_bytes: int = _BIN_BYTES,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Percentage of paths per s_max bin where WCNC is at least as tight."""
     spec = spec if spec is not None else IndustrialConfigSpec()
     network = industrial_config(spec)
-    comparison = industrial_comparison(spec)
+    comparison = industrial_comparison(spec, jobs=jobs)
 
     wins = {}
     totals = {}

@@ -83,6 +83,103 @@ class NetworkCalculusAnalyzer:
 
     # ------------------------------------------------------------------
 
+    def ingress_buckets(self) -> Dict[Tuple[str, PortId], LeakyBucket]:
+        """Every flow's leaky bucket at its source ES output port.
+
+        The initial state of the propagation map ``(flow, port) ->
+        bucket when entering that port's queue``; :meth:`propagate_port`
+        extends it one analyzed port at a time.
+        """
+        entering: Dict[Tuple[str, PortId], LeakyBucket] = {}
+        for name, vl in self.network.virtual_links.items():
+            first_port = (vl.source, vl.paths[0][1])
+            entering[(name, first_port)] = LeakyBucket(
+                rate=(vl.s_max_bits + self.frame_overhead_bits) / vl.bag_us,
+                burst=vl.s_max_bits + self.frame_overhead_bits,
+            )
+        return entering
+
+    def analyze_port(
+        self, port_id: PortId, buckets: Dict[str, LeakyBucket]
+    ) -> PortAnalysis:
+        """Bound one output port given its flows' entering buckets.
+
+        Pure with respect to analyzer state — only ``network``,
+        ``grouping`` and the passed buckets matter — which is what lets
+        the batch engine fan one propagation level's ports across
+        worker processes.
+
+        Raises
+        ------
+        UnstableNetworkError
+            When the aggregate long-term rate exceeds the link rate.
+        """
+        network = self.network
+        aggregate, n_groups = port_aggregate_curve(
+            network, port_id, buckets, self.grouping
+        )
+        port = network.output_port(*port_id)
+        beta = RateLatency(rate=port.rate_bits_per_us, latency=port.latency_us)
+        delay = horizontal_deviation(aggregate, beta.curve())
+        if math.isinf(delay):
+            raise UnstableNetworkError(
+                f"no finite delay bound at port {port}: aggregate long-term rate "
+                f"{aggregate.final_slope:.3f} bits/us exceeds the link rate "
+                f"{port.rate_bits_per_us:.3f}"
+            )
+        backlog = vertical_deviation(aggregate, beta.curve())
+        return PortAnalysis(
+            port_id=port_id,
+            delay_us=delay,
+            backlog_bits=backlog,
+            utilization=network.port_utilization(port_id),
+            n_flows=len(buckets),
+            n_groups=n_groups,
+        )
+
+    def propagate_port(
+        self,
+        entering: Dict[Tuple[str, PortId], LeakyBucket],
+        port_id: PortId,
+        delay: float,
+    ) -> int:
+        """Burst-inflate every flow of ``port_id`` into its next queues.
+
+        Returns the number of flows propagated (for metrics).
+        """
+        network = self.network
+        flows = network.vls_at_port(port_id)
+        for name in flows:
+            out_bucket = entering[(name, port_id)].delayed(delay)
+            for path in network.vl(name).paths:
+                ports = list(zip(path, path[1:]))
+                for pos, pid in enumerate(ports):
+                    if pid == port_id and pos + 1 < len(ports):
+                        entering[(name, ports[pos + 1])] = out_bucket
+        return len(flows)
+
+    def finalize_paths(
+        self,
+        result: NetworkCalculusResult,
+        port_delay: Dict[PortId, float],
+    ) -> None:
+        """Fill ``result.paths`` by summing per-port delays along each path.
+
+        Shared by :meth:`analyze` and the batch coordinator, which
+        produces ``port_delay`` from level-parallel workers.
+        """
+        for vl_name, path_index, node_path in self.network.flow_paths():
+            port_ids = tuple((a, b) for a, b in zip(node_path, node_path[1:]))
+            delays = tuple(port_delay[pid] for pid in port_ids)
+            result.paths[(vl_name, path_index)] = PathBound(
+                vl_name=vl_name,
+                path_index=path_index,
+                node_path=tuple(node_path),
+                port_ids=port_ids,
+                per_port_delay_us=delays,
+                total_us=sum(delays),
+            )
+
     def analyze(self) -> NetworkCalculusResult:
         """Run the full propagation and return (and cache) the result."""
         if self._result is not None:
@@ -96,13 +193,7 @@ class NetworkCalculusAnalyzer:
         obs.metrics.gauge("netcalc.ports", len(order))
 
         # bucket of each flow when entering each port of its tree
-        entering: Dict[Tuple[str, PortId], LeakyBucket] = {}
-        for name, vl in network.virtual_links.items():
-            first_port = (vl.source, vl.paths[0][1])
-            entering[(name, first_port)] = LeakyBucket(
-                rate=(vl.s_max_bits + self.frame_overhead_bits) / vl.bag_us,
-                burst=vl.s_max_bits + self.frame_overhead_bits,
-            )
+        entering = self.ingress_buckets()
 
         result = NetworkCalculusResult(grouping=self.grouping)
         port_delay: Dict[PortId, float] = {}
@@ -117,40 +208,17 @@ class NetworkCalculusAnalyzer:
             for index, port_id in enumerate(order):
                 if progress:
                     progress.update("netcalc.propagate", index, len(order))
-                flows = network.vls_at_port(port_id)
-                buckets = {name: entering[(name, port_id)] for name in flows}
-                aggregate, n_groups = port_aggregate_curve(
-                    network, port_id, buckets, self.grouping
-                )
-                port = network.output_port(*port_id)
-                beta = RateLatency(rate=port.rate_bits_per_us, latency=port.latency_us)
-                delay = horizontal_deviation(aggregate, beta.curve())
-                if math.isinf(delay):
-                    raise UnstableNetworkError(
-                        f"no finite delay bound at port {port}: aggregate long-term rate "
-                        f"{aggregate.final_slope:.3f} bits/us exceeds the link rate "
-                        f"{port.rate_bits_per_us:.3f}"
-                    )
-                backlog = vertical_deviation(aggregate, beta.curve())
-                port_delay[port_id] = delay
-                result.ports[port_id] = PortAnalysis(
-                    port_id=port_id,
-                    delay_us=delay,
-                    backlog_bits=backlog,
-                    utilization=network.port_utilization(port_id),
-                    n_flows=len(flows),
-                    n_groups=n_groups,
-                )
+                buckets = {
+                    name: entering[(name, port_id)]
+                    for name in network.vls_at_port(port_id)
+                }
+                analysis = self.analyze_port(port_id, buckets)
+                port_delay[port_id] = analysis.delay_us
+                result.ports[port_id] = analysis
                 # propagate every flow to its next port(s)
-                for name in flows:
-                    out_bucket = buckets[name].delayed(delay)
-                    for path in network.vl(name).paths:
-                        ports = list(zip(path, path[1:]))
-                        for pos, pid in enumerate(ports):
-                            if pid == port_id and pos + 1 < len(ports):
-                                entering[(name, ports[pos + 1])] = out_bucket
+                n_flows = self.propagate_port(entering, port_id, analysis.delay_us)
                 if collect:
-                    flows_propagated += len(flows)
+                    flows_propagated += n_flows
             if progress:
                 progress.update("netcalc.propagate", len(order), len(order))
 
@@ -163,17 +231,7 @@ class NetworkCalculusAnalyzer:
             )
 
         with obs.tracer.span("netcalc.paths"):
-            for vl_name, path_index, node_path in network.flow_paths():
-                port_ids = tuple((a, b) for a, b in zip(node_path, node_path[1:]))
-                delays = tuple(port_delay[pid] for pid in port_ids)
-                result.paths[(vl_name, path_index)] = PathBound(
-                    vl_name=vl_name,
-                    path_index=path_index,
-                    node_path=tuple(node_path),
-                    port_ids=port_ids,
-                    per_port_delay_us=delays,
-                    total_us=sum(delays),
-                )
+            self.finalize_paths(result, port_delay)
         if collect:
             obs.metrics.counter("netcalc.paths_bound", len(result.paths))
             result.stats = obs.export()

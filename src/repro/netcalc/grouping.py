@@ -13,6 +13,16 @@ exceed the link's own shaping curve — the leaky bucket
 of the group members' summed curves and the link shaping curve tightens
 the aggregate (historically ~40 % on industrial configurations, per the
 paper's 10 % figure being *on top of* an already-grouped NC baseline).
+
+**Multicast fan-out (audit note).**  A multicast VL crosses several
+output ports of the same switch.  Grouping stays sound there because it
+partitions *per output port* and keys each group by the VL's upstream
+port at that node — which is unique per node of the VL's tree — so
+every member listed in a group genuinely crossed the group's shared
+link, on every branch independently, and no flow is double-counted
+within a port.  Audited alongside the trajectory re-meeting fix; see
+``tests/netcalc/test_grouping.py::
+test_multicast_fan_out_counted_once_per_output_port``.
 """
 
 from __future__ import annotations

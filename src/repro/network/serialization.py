@@ -135,5 +135,18 @@ def network_to_json(network: Network, path: Union[str, Path]) -> None:
 
 
 def network_from_json(path: Union[str, Path]) -> Network:
-    """Load a network configuration from a JSON file."""
-    return network_from_dict(json.loads(Path(path).read_text()))
+    """Load a network configuration from a JSON file.
+
+    Raises :class:`ConfigurationError` for an unreadable file or
+    malformed JSON, so the CLI maps both to its configuration exit
+    code instead of leaking a traceback.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read configuration {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed JSON in {path}: {exc}") from exc
+    return network_from_dict(data)

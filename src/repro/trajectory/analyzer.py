@@ -19,6 +19,18 @@ from the Network Calculus per-port bounds (valid upper bounds) and
 tightened with trajectory prefix bounds until stable, so the analysis
 is sound after *any* number of sweeps.
 
+In ``"safe"`` mode the competitor counter additionally applies the
+**catch-up correction**: the historical Martin & Minet alignment
+``A_ij = Smax_j(f) - Smin_i(f)`` misses frames of a competitor released
+*after* the studied packet that still reach the first shared queue
+before it — feasible whenever the studied flow's longest transit to the
+meeting port exceeds the competitor's shortest one (long prefixes
+meeting short feeders, the ``random_network(589)`` soundness violation).
+Safe mode therefore uses ``A_ij = max(Smax_j(f) - Smin_i(f),
+Smax_i(f) - Smin_j(f))``, which covers both the delayed-competitor and
+the delayed-studied-packet alignments.  The reproduction modes
+(``"paper"`` / ``"windowed"``) keep the historical counter.
+
 Implementation note: each sweep walks every VL's multicast tree once,
 maintaining the competitor set, the base workload and the candidate
 jump events incrementally (with rollback on backtrack), so the cost per
@@ -104,8 +116,36 @@ class TrajectoryAnalyzer:
         self.max_refinements = max_refinements
         self._obs = Instrumentation.create(collect_stats, progress)
         self._result: Optional[TrajectoryResult] = None
+        self._prepared = False
 
     # ------------------------------------------------------------------
+
+    def prepare(self, smax_seed: Optional[Dict[FlowPortKey, float]] = None) -> None:
+        """Validate, seed ``Smax`` and precompute sweep-invariant state.
+
+        ``smax_seed`` replaces the Network Calculus seeding — the batch
+        engine computes the seed once on the coordinator and ships it to
+        every worker instead of re-running the NC analysis per process.
+        Idempotent: the first call wins.
+        """
+        if self._prepared:
+            return
+        network = self.network
+        obs = self._obs
+        with obs.tracer.span("trajectory.validate"):
+            check_network(network)
+            topological_port_order(network)  # raises CyclicRoutingError if cyclic
+
+        if smax_seed is None:
+            with obs.tracer.span("trajectory.nc_seed"):
+                nc_seed = analyze_network_calculus(network, grouping=True)
+            smax_seed = seed_smax_from_netcalc(network, nc_seed)
+        with obs.tracer.span("trajectory.precompute"):
+            self._smin = compute_smin(network)
+            self._smax: Dict[FlowPortKey, float] = dict(smax_seed)
+            self._prefixes = tree_prefixes(network)
+            self._precompute_structure()
+        self._prepared = True
 
     def analyze(self) -> TrajectoryResult:
         """Run the analysis and return (and cache) the result."""
@@ -114,19 +154,7 @@ class TrajectoryAnalyzer:
         network = self.network
         obs = self._obs
         collect = obs.enabled
-        with obs.tracer.span("trajectory.validate"):
-            check_network(network)
-            topological_port_order(network)  # raises CyclicRoutingError if cyclic
-
-        with obs.tracer.span("trajectory.nc_seed"):
-            nc_seed = analyze_network_calculus(network, grouping=True)
-        with obs.tracer.span("trajectory.precompute"):
-            self._smin = compute_smin(network)
-            self._smax: Dict[FlowPortKey, float] = seed_smax_from_netcalc(
-                network, nc_seed
-            )
-            self._prefixes = tree_prefixes(network)
-            self._precompute_structure()
+        self.prepare()
 
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
         sweeps = 0
@@ -136,31 +164,72 @@ class TrajectoryAnalyzer:
                 bounds = self._sweep()
                 sweeps += 1
                 stable = True
-                smax_updates = 0
+                smax_updates: Dict[FlowPortKey, float] = {}
                 max_delta = 0.0
                 if self.refine_smax:
-                    smax_updates, max_delta = self._tighten_smax(bounds)
-                    stable = smax_updates == 0
+                    smax_updates, max_delta = self.tighten_smax(bounds)
+                    stable = not smax_updates
                 if collect:
-                    span.attrs.update(smax_updates=smax_updates)
+                    span.attrs.update(smax_updates=len(smax_updates))
                     sweep_trace.append(
                         {
                             "sweep": sweeps,
-                            "smax_updates": smax_updates,
+                            "smax_updates": len(smax_updates),
                             "max_delta_us": round(max_delta, 6),
                         }
                     )
                 _LOG.debug(
                     "sweep done %s",
-                    kv(sweep=sweeps, smax_updates=smax_updates, max_delta_us=max_delta),
+                    kv(
+                        sweep=sweeps,
+                        smax_updates=len(smax_updates),
+                        max_delta_us=max_delta,
+                    ),
                 )
             if stable:
                 break
 
+        result = self.build_result(bounds, sweeps)
+        if collect:
+            obs.metrics.counter("trajectory.sweeps", sweeps)
+            obs.metrics.counter("trajectory.tree_ports_visited", sweeps * len(bounds))
+            obs.metrics.counter(
+                "trajectory.competitors_met", sum(b.n_competitors for b in bounds.values())
+            )
+            obs.metrics.counter(
+                "trajectory.candidates_evaluated",
+                sum(b.n_candidates for b in bounds.values()),
+            )
+            obs.metrics.counter("trajectory.paths_bound", len(result.paths))
+            for name, (hits, misses) in sorted(self.cache_stats().items()):
+                obs.metrics.counter(f"trajectory.{name}_cache_hits", hits)
+                obs.metrics.counter(f"trajectory.{name}_cache_misses", misses)
+            stats = obs.export()
+            stats["sweeps"] = sweep_trace
+            result.stats = stats
+        _LOG.debug(
+            "trajectory done %s",
+            kv(
+                sweeps=sweeps,
+                paths=len(result.paths),
+                serialization=self.serialization_mode,
+            ),
+        )
+        self._result = result
+        return result
+
+    def build_result(
+        self, bounds: Dict[FlowPortKey, TrajectoryPathBound], sweeps: int
+    ) -> TrajectoryResult:
+        """Per-path result from one converged sweep's prefix bounds.
+
+        Shared by :meth:`analyze` and the batch coordinator (which runs
+        the sweeps remotely and only merges prefix bounds locally).
+        """
         result = TrajectoryResult(
             serialization=self.serialization_mode, refinement_iterations=sweeps
         )
-        for vl_name, path_index, node_path in network.flow_paths():
+        for vl_name, path_index, node_path in self.network.flow_paths():
             last_port = (node_path[-2], node_path[-1])
             detail = bounds[(vl_name, last_port)]
             result.paths[(vl_name, path_index)] = TrajectoryPathBound(
@@ -178,29 +247,6 @@ class TrajectoryAnalyzer:
                 n_competitors=detail.n_competitors,
                 n_candidates=detail.n_candidates,
             )
-        if collect:
-            obs.metrics.counter("trajectory.sweeps", sweeps)
-            obs.metrics.counter("trajectory.tree_ports_visited", sweeps * len(bounds))
-            obs.metrics.counter(
-                "trajectory.competitors_met", sum(b.n_competitors for b in bounds.values())
-            )
-            obs.metrics.counter(
-                "trajectory.candidates_evaluated",
-                sum(b.n_candidates for b in bounds.values()),
-            )
-            obs.metrics.counter("trajectory.paths_bound", len(result.paths))
-            stats = obs.export()
-            stats["sweeps"] = sweep_trace
-            result.stats = stats
-        _LOG.debug(
-            "trajectory done %s",
-            kv(
-                sweeps=sweeps,
-                paths=len(result.paths),
-                serialization=self.serialization_mode,
-            ),
-        )
-        self._result = result
         return result
 
     # ------------------------------------------------------------------
@@ -209,14 +255,20 @@ class TrajectoryAnalyzer:
 
     def _precompute_structure(self) -> None:
         network = self.network
+        # sorted flow tuple per port: a deterministic iteration order
+        # regardless of process hash seed (frozenset order is not)
+        self._port_vls: Dict[PortId, Tuple[str, ...]] = {
+            pid: tuple(sorted(network.vls_at_port(pid)))
+            for pid in network.used_ports()
+        }
         # largest frame transmission time crossing each port (Delta term)
         self._port_max_c: Dict[PortId, float] = {}
         self._port_rate: Dict[PortId, float] = {}
-        for pid in network.used_ports():
+        for pid, members in self._port_vls.items():
             rate = network.link_rate(*pid)
             self._port_rate[pid] = rate
             self._port_max_c[pid] = max(
-                network.vl(v).s_max_bits / rate for v in network.vls_at_port(pid)
+                network.vl(v).s_max_bits / rate for v in members
             )
         # per-VL multicast tree: root port and children adjacency
         self._trees: Dict[str, Tuple[PortId, Dict[PortId, List[PortId]]]] = {}
@@ -236,25 +288,56 @@ class TrajectoryAnalyzer:
         self._upstream: Dict[FlowPortKey, Optional[PortId]] = {
             key: network.upstream_port(key[0], key[1]) for key in self._prefixes
         }
+        # per-node memo caches (sweep- and flow-invariant quantities):
+        # the source busy period only involves flows sourced at the root
+        # ES port, all with zero arrival offset, so it is one number per
+        # *node* shared by every VL of that port and every sweep; the
+        # meeting structure (which competitors join at a port, and the
+        # serialization credit they earn) is structural, so it is
+        # computed on the first sweep and replayed afterwards.
+        self._horizon_cache: Dict[PortId, float] = {}
+        self._meeting_cache: Dict[
+            FlowPortKey, Tuple[Tuple[str, ...], Tuple[str, ...], float]
+        ] = {}
+        self._cache_counters: Dict[str, List[int]] = {
+            "horizon": [0, 0],
+            "meetings": [0, 0],
+        }
+
+    def cache_stats(self) -> Dict[str, Tuple[int, int]]:
+        """Per-cache ``(hits, misses)`` of the per-node memo caches."""
+        if not self._prepared:
+            return {}
+        return {
+            name: (hits, misses)
+            for name, (hits, misses) in self._cache_counters.items()
+        }
 
     # ------------------------------------------------------------------
     # One fixed-point sweep
     # ------------------------------------------------------------------
 
-    def _tighten_smax(
+    def smax_snapshot(self) -> Dict[FlowPortKey, float]:
+        """A copy of the current ``Smax`` map (batch coordinator seed)."""
+        if not self._prepared:
+            raise RuntimeError("prepare() must run before smax_snapshot()")
+        return dict(self._smax)
+
+    def tighten_smax(
         self, bounds: Dict[FlowPortKey, TrajectoryPathBound]
-    ) -> Tuple[int, float]:
+    ) -> Tuple[Dict[FlowPortKey, float], float]:
         """One descending update of Smax.
 
-        Returns ``(number of entries tightened, largest tightening in
-        us)`` — ``(0, 0.0)`` means the fixed point is stable.
+        Returns ``(tightened entries, largest tightening in us)`` —
+        ``({}, 0.0)`` means the fixed point is stable.  The entry map is
+        what the batch engine broadcasts to its workers between sweeps.
 
         A frame of ``v`` arrives in the queue of port ``p_k`` at most
         ``R_v(prefix through p_{k-1}) + latency(p_k owner)`` after its
         release; taking the min with the previous value keeps the map a
         sound upper bound throughout.
         """
-        changed = 0
+        updates: Dict[FlowPortKey, float] = {}
         max_delta = 0.0
         for (vl_name, pid), prefix in self._prefixes.items():
             if len(prefix) < 2:
@@ -267,22 +350,147 @@ class TrajectoryAnalyzer:
             delta = self._smax[(vl_name, pid)] - candidate
             if delta > _EPS:
                 self._smax[(vl_name, pid)] = candidate
-                changed += 1
+                updates[(vl_name, pid)] = candidate
                 if delta > max_delta:
                     max_delta = delta
-        return changed, max_delta
+        return updates, max_delta
+
+    def apply_smax_updates(self, updates: Dict[FlowPortKey, float]) -> None:
+        """Install coordinator-tightened ``Smax`` entries (batch workers)."""
+        self._smax.update(updates)
 
     def _sweep(self) -> Dict[FlowPortKey, TrajectoryPathBound]:
+        return self.sweep_vls(list(self.network.virtual_links))
+
+    def sweep_vls(
+        self, vl_names: List[str]
+    ) -> Dict[FlowPortKey, TrajectoryPathBound]:
+        """Walk the given VLs' trees once with the current ``Smax`` map.
+
+        The prefix bounds of different VLs are independent within one
+        sweep, which is what lets the batch engine fan a sweep's walks
+        across worker processes and merge the per-chunk dictionaries in
+        any order without changing a single bit of the result.
+        """
+        if not self._prepared:
+            raise RuntimeError("prepare() must run before sweep_vls()")
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
         progress = self._obs.progress
-        vls = self.network.virtual_links
-        for index, vl_name in enumerate(vls):
+        for index, vl_name in enumerate(vl_names):
             if progress:
-                progress.update("trajectory.sweep", index, len(vls))
+                progress.update("trajectory.sweep", index, len(vl_names))
             self._walk_tree(vl_name, bounds)
         if progress:
-            progress.update("trajectory.sweep", len(vls), len(vls))
+            progress.update("trajectory.sweep", len(vl_names), len(vl_names))
         return bounds
+
+    def _competitor_entry(
+        self, vl_name: str, other: str, port: PortId
+    ) -> Tuple[float, float, float]:
+        """``(C, T, A)`` of a competitor first met (or re-met) at ``port``."""
+        other_vl = self.network.vl(other)
+        offset = self._smax[(other, port)] - self._smin[(vl_name, port)]
+        if self.serialization_mode == "safe":
+            # Catch-up correction: a frame of `other` released *after*
+            # the studied packet can still reach this queue first
+            # whenever the studied flow's worst transit here (Smax_i)
+            # exceeds the competitor's best (Smin_j).  The historical
+            # Martin & Minet alignment misses those frames when
+            # Smax_i + Smin_i > Smax_j + Smin_j, which is the
+            # random_network(589) soundness violation.
+            offset = max(
+                offset, self._smax[(vl_name, port)] - self._smin[(other, port)]
+            )
+        return (
+            other_vl.s_max_bits / self._port_rate[port],
+            other_vl.bag_us,
+            offset,
+        )
+
+    def _discover_meetings(
+        self,
+        vl_name: str,
+        port: PortId,
+        competitors: Dict[str, Tuple[float, float, float]],
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...], float]:
+        """Which flows join the studied path at ``port``, and their credit.
+
+        Returns ``(added, readded, serialization_gain)``.  ``added`` are
+        flows met for the first time.  ``readded`` are flows already
+        counted upstream that *diverged from the studied path and meet
+        it again* here — possible on meshed topologies, where a
+        competitor's frames can overtake the studied packet off-path and
+        delay it a second time.  The Martin & Minet tree formulation
+        counts every competitor exactly once (sound on trees, where a
+        frame ahead in a FIFO queue stays ahead for the whole shared
+        segment); ``safe`` mode charges every re-meeting as an
+        *additional* fresh meeting, while the historical ``paper`` and
+        ``windowed`` reproduction modes keep the counted-once treatment
+        and therefore remain optimistic on such configurations.
+
+        The serialization gain is computed from first meetings only, to
+        match the historical credit exactly (it is zero in safe mode
+        anyway).
+
+        The result is structural — independent of the sweep's ``Smax``
+        values — so callers memoize it per ``(VL, port)``.
+        """
+        parent = self._upstream[(vl_name, port)]
+        added: List[str] = []
+        readded: List[str] = []
+        for other in self._port_vls[port]:
+            if other == vl_name:
+                continue
+            if other not in competitors:
+                added.append(other)
+            elif parent is not None and (other, parent) not in self._prefixes:
+                # `other` was met upstream but does not cross the port we
+                # arrived from: it left the path and is rejoining here.
+                readded.append(other)
+
+        mode = self.serialization_mode
+        port_gain = 0.0
+        if mode != "safe" and added:
+            rate = self._port_rate[port]
+            groups: Dict[PortId, List[float]] = {}
+            for other in added:
+                upstream = self._upstream[(other, port)]
+                if upstream is None:
+                    continue
+                groups.setdefault(upstream, []).append(
+                    self.network.vl(other).s_max_bits / rate
+                )
+            spans = [
+                sum(members) - max(members)
+                for members in groups.values()
+                if len(members) >= 2
+            ]
+            if spans:
+                port_gain = sum(spans) if mode == "paper" else max(spans)
+        return tuple(added), tuple(readded), port_gain
+
+    def _root_horizon(self, root: PortId) -> float:
+        """Source busy-period bound, memoized per root port.
+
+        Every flow of an ES output port is sourced at that ES, so all
+        arrival offsets are zero and the bound is shared by every VL of
+        the port and every sweep.
+        """
+        hits_misses = self._cache_counters["horizon"]
+        cached = self._horizon_cache.get(root)
+        if cached is not None:
+            hits_misses[0] += 1
+            return cached
+        hits_misses[1] += 1
+        rate = self._port_rate[root]
+        horizon = busy_period_bound(
+            [
+                (self.network.vl(name).s_max_bits / rate, self.network.vl(name).bag_us, 0.0)
+                for name in self._port_vls[root]
+            ]
+        )
+        self._horizon_cache[root] = horizon
+        return horizon
 
     def _walk_tree(
         self, vl_name: str, bounds: Dict[FlowPortKey, TrajectoryPathBound]
@@ -301,29 +509,22 @@ class TrajectoryAnalyzer:
         network = self.network
         vl = network.vl(vl_name)
         root, children = self._trees[vl_name]
-        smin_i = self._smin
-        smax = self._smax
-        mode = self.serialization_mode
 
         own_c = vl.s_max_bits / self._port_rate[root]
-        competitors: Dict[str, Tuple[float, float, float]] = {
+        competitors: Dict[object, Tuple[float, float, float]] = {
             vl_name: (own_c, vl.bag_us, 0.0)
         }
+        safe = self.serialization_mode == "safe"
 
         # ---- root-level quantities -----------------------------------
         root_added: List[str] = []
-        for other in network.vls_at_port(root):
+        for other in self._port_vls[root]:
             if other == vl_name:
                 continue
-            other_vl = network.vl(other)
-            c = other_vl.s_max_bits / self._port_rate[root]
-            offset = smax[(other, root)] - smin_i[(vl_name, root)]
-            competitors[other] = (c, other_vl.bag_us, offset)
+            competitors[other] = self._competitor_entry(vl_name, other, root)
             root_added.append(other)
 
-        horizon = busy_period_bound(
-            [competitors[name] for name in network.vls_at_port(root)]
-        )
+        horizon = self._root_horizon(root)
 
         base_workload = 0.0
         events: List[Tuple[float, float]] = []
@@ -345,9 +546,17 @@ class TrajectoryAnalyzer:
                 k += 1
             return added
 
+        def remove_flow(entry: Tuple[float, float, float]) -> None:
+            nonlocal base_workload
+            c, period, offset = entry
+            base_workload -= interference_count(0.0, offset, period) * c
+
         add_flow(competitors[vl_name])
         for name in root_added:
             add_flow(competitors[name])
+
+        meeting_cache = self._meeting_cache
+        meeting_counters = self._cache_counters["meetings"]
 
         # ---- recursive descent ---------------------------------------
         def visit(
@@ -356,45 +565,48 @@ class TrajectoryAnalyzer:
             transitions: float,
             latencies: float,
             gain: float,
+            n_met: int,
         ) -> None:
-            nonlocal base_workload
             latencies += network.node(port[0]).technological_latency_us
             if depth > 0:
                 transitions += self._port_max_c[port]
 
-            added: List[str] = []
+            added: Tuple[str, ...] = ()
+            readded: Tuple[str, ...] = ()
+            port_gain = 0.0
+            rollback: List[object] = []
             added_events = 0
             if depth > 0:
-                rate = self._port_rate[port]
-                for other in network.vls_at_port(port):
-                    if other in competitors:
-                        continue
-                    other_vl = network.vl(other)
-                    entry = (
-                        other_vl.s_max_bits / rate,
-                        other_vl.bag_us,
-                        smax[(other, port)] - smin_i[(vl_name, port)],
-                    )
-                    competitors[other] = entry
-                    added.append(other)
-                    added_events += add_flow(entry)
-
-            port_gain = 0.0
-            if mode != "safe" and added:
-                groups: Dict[PortId, List[float]] = {}
+                key = (vl_name, port)
+                cached = meeting_cache.get(key)
+                if cached is None:
+                    meeting_counters[1] += 1
+                    cached = self._discover_meetings(vl_name, port, competitors)
+                    meeting_cache[key] = cached
+                else:
+                    meeting_counters[0] += 1
+                added, readded, port_gain = cached
                 for other in added:
-                    upstream = self._upstream[(other, port)]
-                    if upstream is None:
-                        continue
-                    groups.setdefault(upstream, []).append(competitors[other][0])
-                spans = [
-                    sum(members) - max(members)
-                    for members in groups.values()
-                    if len(members) >= 2
-                ]
-                if spans:
-                    port_gain = sum(spans) if mode == "paper" else max(spans)
+                    entry = self._competitor_entry(vl_name, other, port)
+                    competitors[other] = entry
+                    rollback.append(other)
+                    added_events += add_flow(entry)
+                if safe:
+                    # A re-met competitor's frames can overtake the
+                    # studied packet on the off-path detour, so they may
+                    # interfere again here.  Charge the re-meeting as an
+                    # extra competitor (the first meeting's charge stays
+                    # in place); synthetic keys keep the name-membership
+                    # test in `_discover_meetings` intact.
+                    for other in readded:
+                        entry = self._competitor_entry(vl_name, other, port)
+                        remeet_key = (other, port)
+                        competitors[remeet_key] = entry
+                        rollback.append(remeet_key)
+                        added_events += add_flow(entry)
+                    n_met += len(readded)
             gain += port_gain
+            n_met += len(added)
 
             constant = transitions + latencies - gain
             best, best_t, best_w, n_cand = self._maximize(
@@ -412,21 +624,20 @@ class TrajectoryAnalyzer:
                 transition_us=transitions,
                 latency_us=latencies,
                 serialization_gain_us=gain,
-                n_competitors=len(competitors) - 1,
+                n_competitors=n_met,
                 n_candidates=n_cand,
             )
 
             for child in children.get(port, ()):
-                visit(child, depth + 1, transitions, latencies, gain)
+                visit(child, depth + 1, transitions, latencies, gain, n_met)
 
             # rollback this port's additions
-            for other in added:
-                c, period, offset = competitors.pop(other)
-                base_workload -= interference_count(0.0, offset, period) * c
+            for entry_key in rollback:
+                remove_flow(competitors.pop(entry_key))
             if added_events:
                 del events[-added_events:]
 
-        visit(root, 0, 0.0, 0.0, 0.0)
+        visit(root, 0, 0.0, 0.0, 0.0, len(root_added))
 
     @staticmethod
     def _maximize(

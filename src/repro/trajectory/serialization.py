@@ -38,6 +38,18 @@ optimistic in corner cases.  The library therefore exposes two modes:
 * ``"safe"`` — no serialization credit (the plain Martin & Minet
   accounting), provably sound; this is what the simulation-backed
   property tests run against.
+
+**Re-meetings (audit note).**  This module only credits *first*
+meetings, which is where the whole serialization argument lives: a
+group is serialized on the link it arrives through when it *joins* the
+studied path.  On meshed routings a competitor can additionally leave
+the studied path and rejoin it downstream; how such re-meetings are
+*charged* is the analyzer's concern
+(:meth:`~repro.trajectory.analyzer.TrajectoryAnalyzer._discover_meetings`):
+``paper`` and ``windowed`` keep the historical counted-once treatment
+(optimistic on meshes), ``safe`` charges every re-meeting as an
+additional competitor.  See ``tests/trajectory/test_analyzer.py::
+TestMeshReMeeting`` for the concrete divergence/rejoin topology.
 """
 
 from __future__ import annotations

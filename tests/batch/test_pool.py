@@ -1,0 +1,79 @@
+"""Unit tests for the worker-pool plumbing."""
+
+import pytest
+
+from repro.batch.pool import WorkerPool, chunked, resolve_jobs
+from repro.errors import AnalysisError, ConfigurationError, UnstableNetworkError
+
+
+class TestChunked:
+    def test_concatenation_reproduces_items(self):
+        items = list(range(17))
+        for n in (1, 2, 3, 5, 17, 40):
+            chunks = chunked(items, n)
+            assert [x for chunk in chunks for x in chunk] == items
+
+    def test_balanced_sizes(self):
+        chunks = chunked(list(range(10)), 3)
+        sizes = [len(chunk) for chunk in chunks]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_never_more_chunks_than_items(self):
+        assert len(chunked([1, 2], 8)) == 2
+
+    def test_empty_items(self):
+        assert chunked([], 4) == []
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_and_zero_mean_all_cores(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _raise_payload_error(_x):
+    raise _ERRORS[_x]
+
+
+_ERRORS = {
+    "config": ConfigurationError("bad config"),
+    "unstable": UnstableNetworkError("overloaded"),
+    "analysis": AnalysisError("generic analysis failure"),
+}
+
+
+class TestWorkerPool:
+    def test_requires_two_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(1, payload=None)
+
+    def test_map_preserves_task_order(self):
+        with WorkerPool(2, payload=None) as pool:
+            assert pool.map(_double, list(range(20))) == [2 * x for x in range(20)]
+
+    @pytest.mark.parametrize("kind", ["config", "unstable", "analysis"])
+    def test_analysis_errors_propagate_with_type(self, kind):
+        """Worker-raised repro.errors surface unchanged in the coordinator.
+
+        The CLI's existing exception handler then maps them to exit
+        codes 3/4/5 — covered end-to-end in test_batch_analyzer.py.
+        """
+        with pytest.raises(type(_ERRORS[kind]), match=str(_ERRORS[kind])):
+            with WorkerPool(2, payload=None) as pool:
+                pool.map(_raise_payload_error, [kind])

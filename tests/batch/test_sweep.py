@@ -1,0 +1,74 @@
+"""The batch-sweep soundness fuzzer."""
+
+import pytest
+
+from repro.batch import SweepSpec, batch_sweep
+from repro.cli import main
+
+FAST = SweepSpec(configs=4, base_seed=586, duration_ms=2.0, scenarios_per_config=1)
+
+
+class TestSweep:
+    def test_sequential_sweep_clean(self):
+        report = batch_sweep(FAST, jobs=1)
+        assert len(report.records) == 4
+        assert [record.config_seed for record in report.records] == [586, 587, 588, 589]
+        assert report.paths_checked > 0
+        assert report.violations == []
+        assert report.n_errors == 0
+
+    def test_parallel_matches_sequential(self):
+        seq = batch_sweep(FAST, jobs=1)
+        par = batch_sweep(FAST, jobs=2)
+        assert [record.config_seed for record in par.records] == [
+            record.config_seed for record in seq.records
+        ]
+        for a, b in zip(seq.records, par.records):
+            assert a.n_paths == b.n_paths
+            assert a.min_margin_us == b.min_margin_us  # bit-identical
+            assert a.violations == b.violations
+
+    def test_covers_the_589_regression_seed(self):
+        """The sweep regenerates the known counterexample region."""
+        spec = SweepSpec(configs=1, base_seed=589, duration_ms=25.0,
+                         scenarios_per_config=2)
+        report = batch_sweep(spec, jobs=1)
+        assert report.records[0].n_paths == 13
+        assert report.violations == []
+
+    def test_stats_collected(self):
+        report = batch_sweep(FAST, jobs=2, collect_stats=True)
+        counters = report.stats["counters"]
+        assert counters["batch.sweep.configs"] == 4
+        assert counters["batch.sweep.violations"] == 0
+        assert report.stats["gauges"]["batch.sweep.jobs"] == 2
+
+    def test_render_mentions_violations_count(self):
+        report = batch_sweep(FAST, jobs=1)
+        assert "0 bound violations" in report.render()
+
+
+class TestSweepCli:
+    def test_exit_zero_when_clean(self, capsys):
+        code = main(
+            ["batch-sweep", "--configs", "2", "--base-seed", "588",
+             "--scenarios", "1", "--duration-ms", "2", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "0 bound violations" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestSweepAtScale:
+    def test_fifty_configs_no_violations(self):
+        """CI-sized slice of the 500-config soundness sweep.
+
+        The full ``afdx batch-sweep --configs 500`` run is part of the
+        release checklist; this keeps a fast representative slab in CI.
+        """
+        report = batch_sweep(
+            SweepSpec(configs=50, base_seed=560, duration_ms=5.0), jobs=0
+        )
+        assert len(report.records) == 50
+        assert report.n_errors == 0
+        assert report.violations == []

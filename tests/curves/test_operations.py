@@ -162,3 +162,39 @@ class TestDeconvolve:
         alpha = PiecewiseCurve.affine(3.0, 500.0)
         out = deconvolve(alpha, RateLatency(10.0, 5.0))
         assert out.dominates(alpha)
+
+
+class TestConcaveEnvelope:
+    """min_curves must stay concave even when a crossing lands within
+    floating-point noise of an existing knot (hypothesis-found
+    regression: the micro-segment between the two near-equal x values
+    got a garbage slope and is_concave() failed)."""
+
+    def test_crossing_adjacent_to_knot_stays_concave(self):
+        from repro.curves import PiecewiseCurve
+
+        f = PiecewiseCurve.affine(1.0, 100.0)  # 100 + t
+        # crosses f a couple of 1e-7 before its own knot at x ~= 100
+        g = PiecewiseCurve([(0.0, 0.0), (100.0 - 1e-7, 200.0000001)], 0.5)
+        assert f.is_concave() and g.is_concave()
+        low = min_curves(f, g)
+        assert low.is_concave()
+        # and it is still the pointwise minimum
+        for t in (0.0, 50.0, 99.9999, 100.0, 150.0):
+            assert low(t) == pytest.approx(min(f(t), g(t)), abs=1e-6)
+
+    def test_envelope_drops_noise_point(self):
+        from repro.curves.operations import _concave_envelope
+
+        noisy = [(0.0, 0.0), (10.0, 100.0), (10.0 + 1e-7, 100.0 - 1e-9),
+                 (20.0, 105.0)]
+        cleaned = _concave_envelope(noisy, 0.1)
+        assert cleaned == [(0.0, 0.0), (10.0, 100.0), (20.0, 105.0)]
+
+    def test_envelope_respects_tail_slope(self):
+        from repro.curves.operations import _concave_envelope
+
+        # last sampled point dips below: the 2.0 tail slope would make
+        # slopes increase again, so the dip must be dropped
+        dipping = [(0.0, 0.0), (10.0, 100.0), (10.0 + 1e-7, 100.0 - 1e-9)]
+        assert _concave_envelope(dipping, 2.0) == [(0.0, 0.0), (10.0, 100.0)]

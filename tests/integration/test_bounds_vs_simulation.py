@@ -88,6 +88,37 @@ class TestRandomConfigs:
         assert_bounds_hold(network, scenario)
 
 
+class TestSeededRegressions:
+    """Counterexamples found by fuzzing, pinned forever.
+
+    Each entry documents a soundness violation that once escaped the
+    analyzers; the fix must keep every bound above the replayed
+    simulation.
+    """
+
+    def test_random_589_catch_up_interference(self):
+        """The seed-state soundness bug (ROADMAP, found 2026-08-05).
+
+        ``random_network(589)`` routes a long studied prefix of ``v1``
+        into a queue also fed by a short path of ``v4``: a ``v4`` frame
+        released *after* the studied frame still reaches the shared
+        queue first (it "catches up"), which the historical
+        Martin & Minet arrival offset ``Smax_j - Smin_i`` cannot count.
+        The simulator observed 512.573 us on path ``('v1', 0)`` while
+        safe-mode trajectory claimed 493.76 us.  Safe mode now uses the
+        symmetric offset ``max(Smax_j - Smin_i, Smax_i - Smin_j)``.
+        """
+        network = random_network(
+            589, n_switches=3, n_end_systems=6, n_virtual_links=6
+        )
+        scenario = TrafficScenario(duration_ms=25, synchronized=False, seed=10)
+        observed, _nc, trajectory = assert_bounds_hold(network, scenario)
+        # the historical witness: the catch-up delay really happens...
+        assert observed.paths[("v1", 0)].max_us > 500.0
+        # ...and the corrected safe bound stays above it
+        assert trajectory.paths[("v1", 0)].total_us >= 512.573
+
+
 class TestBacklogBounds:
     def test_observed_backlog_below_nc_bound(self):
         network = fig1_network()

@@ -71,3 +71,39 @@ def test_aggregate_keeps_longterm_rate(fig2):
     buckets = buckets_for(fig2, port)
     grouped, _ = port_aggregate_curve(fig2, port, buckets, grouping=True)
     assert grouped.final_slope == pytest.approx(4.0)  # 4 VLs x 1 bit/us
+
+
+def test_multicast_fan_out_counted_once_per_output_port():
+    """A multicast VL crosses several output ports of the same switch.
+
+    Grouping must treat every branch independently: at each output port
+    the VL appears in exactly one group, and the link-shaping cap only
+    pools flows that genuinely crossed that group's upstream link —
+    which holds by construction, because a VL has a unique upstream
+    port at every node of its tree.
+    """
+    from repro.network import NetworkBuilder
+
+    net = (
+        NetworkBuilder("mcast")
+        .switches("S1")
+        .end_systems("a", "d1", "d2")
+        .links([("a", "S1"), ("S1", "d1"), ("S1", "d2")])
+        .virtual_link("v1", source="a", destinations=["d1", "d2"],
+                      bag_ms=2, s_max_bytes=500)
+        .virtual_link("v2", source="a", destinations=["d1", "d2"],
+                      bag_ms=2, s_max_bytes=1000)
+        .build()
+    )
+    for port in (("S1", "d1"), ("S1", "d2")):
+        groups = arrival_groups(net, port)
+        assert groups == {("a", "S1"): frozenset({"v1", "v2"})}
+        members = sorted(name for g in groups.values() for name in g)
+        assert members == ["v1", "v2"]  # once per output port, not per branch
+        curve, n_groups = port_aggregate_curve(
+            net, port, buckets_for(net, port), grouping=True
+        )
+        assert n_groups == 1
+        # capped at one maximal frame of the shared link (1000 B = 8000 b),
+        # not the 12000-bit plain sum
+        assert curve(0) == pytest.approx(8000.0)

@@ -226,3 +226,21 @@ def test_log_level_flag_enables_logging(fig2_json, capsys):
         root.handlers.clear()
         root.setLevel(logging.NOTSET)
         root.propagate = True
+
+
+def test_missing_config_file_exits_with_config_code(tmp_path, capsys):
+    from repro.cli import EXIT_CONFIG_ERROR
+
+    assert main(["analyze", str(tmp_path / "nope.json")]) == EXIT_CONFIG_ERROR
+    err = capsys.readouterr().err
+    assert err.startswith("afdx: error: cannot read configuration")
+    assert "Traceback" not in err
+
+
+def test_malformed_json_exits_with_config_code(tmp_path, capsys):
+    from repro.cli import EXIT_CONFIG_ERROR
+
+    path = tmp_path / "garbage.json"
+    path.write_text("not json")
+    assert main(["analyze", str(path)]) == EXIT_CONFIG_ERROR
+    assert "malformed JSON" in capsys.readouterr().err

@@ -122,3 +122,66 @@ class TestMulticast:
         assert result.worst_path().total_us == max(
             p.total_us for p in result.paths.values()
         )
+
+
+class TestMeshReMeeting:
+    """A competitor that leaves the studied path and rejoins downstream.
+
+    The Martin & Minet tree formulation counts each competitor once —
+    sound on trees, where a frame ahead in a FIFO queue stays ahead for
+    the whole shared segment.  On this meshed topology v2 meets v1 at
+    (S1, S2), detours via S4 while v1 goes straight to S3, and re-meets
+    v1 at (S3, d); its frames can overtake v1 off-path and delay it a
+    second time, so ``safe`` mode charges the re-meeting as an
+    additional competitor while the reproduction modes keep the
+    historical counted-once treatment.
+    """
+
+    @pytest.fixture
+    def mesh(self):
+        return (
+            NetworkBuilder("mesh")
+            .switches("S1", "S2", "S3", "S4")
+            .end_systems("a", "b", "d")
+            .links(
+                [("a", "S1"), ("b", "S1"), ("S1", "S2"), ("S2", "S3"),
+                 ("S2", "S4"), ("S4", "S3"), ("S3", "d")]
+            )
+            .virtual_link(
+                "v1", source="a", destinations=["d"], bag_ms=1,
+                s_max_bytes=1518, paths=[["a", "S1", "S2", "S3", "d"]],
+            )
+            .virtual_link(
+                "v2", source="b", destinations=["d"], bag_ms=1,
+                s_max_bytes=1518,
+                paths=[["b", "S1", "S2", "S4", "S3", "d"]],
+            )
+            .build()
+        )
+
+    def test_re_meeting_discovered_at_rejoin_port(self, mesh):
+        analyzer = TrajectoryAnalyzer(mesh, serialization="safe")
+        analyzer.analyze()
+        added, readded, _gain = analyzer._meeting_cache[("v1", ("S3", "d"))]
+        assert readded == ("v2",)
+        assert "v2" not in added
+
+    def test_safe_charges_one_extra_competitor(self, mesh):
+        safe = analyze_trajectory(mesh, serialization="safe")
+        paper = analyze_trajectory(mesh, serialization="paper")
+        assert paper.paths[("v1", 0)].n_competitors == 1
+        assert safe.paths[("v1", 0)].n_competitors == 2
+        assert safe.paths[("v1", 0)].total_us > paper.paths[("v1", 0)].total_us
+
+    def test_safe_bound_covers_simulation(self, mesh):
+        from repro.sim import TrafficScenario, simulate
+
+        safe = analyze_trajectory(mesh, serialization="safe")
+        for seed in range(4):
+            observed = simulate(
+                mesh,
+                TrafficScenario(duration_ms=10, synchronized=(seed % 2 == 0),
+                                seed=seed),
+            )
+            for key, stats in observed.paths.items():
+                assert stats.max_us <= safe.paths[key].total_us + 1e-9, key
