@@ -5,7 +5,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench bench-batch
+.PHONY: check test bench bench-batch bench-scaling bench-incremental
 
 check:
 	sh scripts/check.sh
@@ -20,3 +20,13 @@ bench:
 # benchmarks/results/BENCH_batch.json (records cpu_count honestly).
 bench-batch:
 	python benchmarks/bench_batch.py
+
+# Analyzer wall time vs configuration size; appends to
+# benchmarks/results/BENCH_scaling.json.
+bench-scaling:
+	python benchmarks/bench_scaling.py
+
+# Cold full analysis vs warm incremental re-analysis of one edit;
+# appends to benchmarks/results/BENCH_incremental.json.
+bench-incremental:
+	python benchmarks/bench_incremental.py

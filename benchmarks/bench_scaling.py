@@ -3,15 +3,40 @@
 Times the two analyzers on industrial configurations of growing VL
 count — the practical question for a certification tool ("can it turn
 around an A380-class configuration interactively?").
+
+Two entry points:
+
+* ``make bench`` / ``pytest benchmarks/ --benchmark-only`` — the
+  pytest-benchmark harness below;
+* ``make bench-scaling`` / ``python benchmarks/bench_scaling.py`` —
+  standalone runs that *append* machine-readable wall times to
+  ``benchmarks/results/BENCH_scaling.json`` so scaling is tracked
+  across machines and revisions (``cpu_count`` is recorded).
 """
 
-import pytest
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
 
-from repro.configs.industrial import IndustrialConfigSpec, industrial_network
-from repro.netcalc.analyzer import NetworkCalculusAnalyzer
-from repro.trajectory.analyzer import TrajectoryAnalyzer
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import pytest  # noqa: E402
+
+from repro.configs.industrial import (  # noqa: E402
+    IndustrialConfigSpec,
+    industrial_network,
+)
+from repro.netcalc.analyzer import NetworkCalculusAnalyzer  # noqa: E402
+from repro.trajectory.analyzer import TrajectoryAnalyzer  # noqa: E402
 
 SIZES = [100, 300, 1000]
+
+RESULTS_PATH = REPO / "benchmarks" / "results" / "BENCH_scaling.json"
 
 
 @pytest.fixture(scope="module")
@@ -37,3 +62,61 @@ def test_trajectory_scaling(benchmark, networks, n_vls):
         lambda: TrajectoryAnalyzer(network).analyze(), rounds=1, iterations=1
     )
     assert len(result.paths) == len(network.flow_paths())
+
+
+def _best_of(fn, runs):
+    best = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=SIZES,
+                        help=f"industrial VL counts to time (default {SIZES})")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="timed repetitions per size; best-of is recorded")
+    args = parser.parse_args(argv)
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S+0000"),
+        "cpu_count": os.cpu_count(),
+        "runs": args.runs,
+        "points": [],
+    }
+    for n_vls in args.sizes:
+        network = industrial_network(IndustrialConfigSpec(n_virtual_links=n_vls))
+        netcalc_s = _best_of(
+            lambda: NetworkCalculusAnalyzer(network).analyze(), args.runs
+        )
+        trajectory_s = _best_of(
+            lambda: TrajectoryAnalyzer(network).analyze(), args.runs
+        )
+        point = {
+            "n_virtual_links": n_vls,
+            "n_paths": len(network.flow_paths()),
+            "netcalc_s": round(netcalc_s, 4),
+            "trajectory_s": round(trajectory_s, 4),
+        }
+        record["points"].append(point)
+        print(
+            f"industrial({n_vls} VLs, {point['n_paths']} paths): "
+            f"netcalc {netcalc_s:.3f}s, trajectory {trajectory_s:.3f}s"
+        )
+
+    history = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    history.append(record)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"-> {RESULTS_PATH.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,4 +23,7 @@ python -m pytest -x -q \
     tests/batch/test_batch_analyzer.py::TestJobsOne \
     tests/batch/test_batch_analyzer.py::TestBitIdenticalFig2
 
+echo "== incremental equivalence (30-edit replay vs cold, jobs=2, warm cache dir) =="
+python scripts/incremental_gate.py
+
 echo "check OK"

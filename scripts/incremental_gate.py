@@ -1,0 +1,128 @@
+"""Incremental-equivalence gate (run by ``scripts/check.sh``).
+
+Replays a seeded 30-edit admission scenario on a ``random_network``
+and demands that every incremental result is *exactly* — bit for bit —
+the result of a cold full analysis of the same configuration:
+
+1. a chained :class:`~repro.incremental.delta.DeltaAnalyzer` with a
+   disk-backed cache, compared against cold NC + trajectory per step;
+2. the final configuration through ``BatchAnalyzer(jobs=2)`` sharing
+   the (now warm) ``--cache-dir``;
+3. a fresh engine on the same directory replaying the whole scenario
+   warm (the interactive "reopen the tool" path).
+
+Any mismatch prints the offending step and exits non-zero.
+"""
+
+import random
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.batch import BatchAnalyzer  # noqa: E402
+from repro.configs.random_topology import random_network  # noqa: E402
+from repro.incremental import DeltaAnalyzer  # noqa: E402
+from repro.incremental.edits import (  # noqa: E402
+    AddVL,
+    RemoveVL,
+    RerouteVL,
+    ResizeVL,
+    RetimeVL,
+)
+from repro.netcalc.analyzer import analyze_network_calculus  # noqa: E402
+from repro.trajectory.analyzer import analyze_trajectory  # noqa: E402
+
+SEED = 30  # network + edit stream; change only with the scenario
+N_EDITS = 30
+
+
+def _random_edit(rng, network, removed):
+    """One valid, load-non-increasing edit against the current network."""
+    live = sorted(network.virtual_links)
+    ops = ["retime", "retime", "resize", "reroute"]  # retime dominates
+    if removed:
+        ops.append("add")
+    if len(live) > 3:
+        ops.append("remove")
+    op = rng.choice(ops)
+    if op == "add":
+        name = rng.choice(sorted(removed))
+        return AddVL(vl=removed.pop(name))
+    name = rng.choice(live)
+    vl = network.vl(name)
+    if op == "remove":
+        removed[name] = vl
+        return RemoveVL(name=name)
+    if op == "resize":
+        return ResizeVL(name=name, s_max_bytes=max(64, vl.s_max_bytes // 2))
+    if op == "reroute":
+        return RerouteVL(name=name, paths=vl.paths[:1])
+    return RetimeVL(name=name, bag_ms=min(vl.bag_ms * 2, 1024.0))
+
+
+def _expect(step, label, incremental, cold):
+    if incremental != cold:
+        print(f"incremental gate FAILED at {step}: {label} diverged from cold run")
+        sys.exit(1)
+
+
+def _run(cache_dir):
+    network = random_network(SEED, n_switches=3, n_end_systems=6, n_virtual_links=10)
+    rng = random.Random(SEED)
+    engine = DeltaAnalyzer(network, cache_dir=cache_dir)
+    engine.analyze_base()
+    removed = {}
+    edits = []
+    for step in range(1, N_EDITS + 1):
+        edit = _random_edit(rng, engine.network, removed)
+        edits.append(edit)
+        delta = engine.apply([edit])
+        cold_nc = analyze_network_calculus(engine.network)
+        cold_tr = analyze_trajectory(engine.network)
+        _expect(f"edit #{step} ({type(edit).__name__})", "NC ports",
+                delta.netcalc.ports, cold_nc.ports)
+        _expect(f"edit #{step} ({type(edit).__name__})", "NC paths",
+                delta.netcalc.paths, cold_nc.paths)
+        _expect(f"edit #{step} ({type(edit).__name__})", "trajectory paths",
+                delta.trajectory.paths, cold_tr.paths)
+    print(f"  {N_EDITS} incremental steps bit-identical to cold analysis")
+
+    final = engine.network
+    cold_nc = analyze_network_calculus(final)
+    cold_tr = analyze_trajectory(final)
+
+    # the pooled path through the same warm cache directory
+    batch = BatchAnalyzer(final, jobs=2, incremental=True, cache_dir=cache_dir)
+    _expect("batch jobs=2", "NC paths", batch.network_calculus().paths, cold_nc.paths)
+    _expect("batch jobs=2", "trajectory paths", batch.trajectory().paths, cold_tr.paths)
+    print("  batch --jobs 2 over the warm cache dir bit-identical")
+
+    # a fresh engine replays the whole scenario from disk
+    warm = DeltaAnalyzer(
+        random_network(SEED, n_switches=3, n_end_systems=6, n_virtual_links=10),
+        cache_dir=cache_dir,
+    )
+    warm.analyze_base()
+    for step, edit in enumerate(edits, 1):
+        delta = warm.apply([edit])
+        if step == len(edits):
+            _expect("warm replay (final)", "NC paths", delta.netcalc.paths, cold_nc.paths)
+            _expect("warm replay (final)", "trajectory paths",
+                    delta.trajectory.paths, cold_tr.paths)
+    totals = warm.cache.stats()
+    if totals["disk_hits"] == 0:
+        print("incremental gate FAILED: warm replay never touched the disk cache")
+        sys.exit(1)
+    print(f"  warm replay bit-identical ({totals['disk_hits']} disk hits)")
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="afdx-gate-") as cache_dir:
+        _run(cache_dir)
+    print("incremental gate OK")
+
+
+if __name__ == "__main__":
+    main()

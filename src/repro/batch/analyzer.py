@@ -73,6 +73,28 @@ class _Payload:
     frame_overhead_bytes: float = 0.0
     serialization: object = True
     smax_seed: Optional[Dict[FlowPortKey, float]] = None
+    incremental: bool = False
+    cache_dir: Optional[str] = None
+
+
+def _worker_cache(payload: _Payload):
+    """One per-process :class:`BoundCache` (None when not incremental).
+
+    Workers of one pool cannot share Python objects, so each process
+    opens its own cache; a ``cache_dir`` makes them share entries
+    through the disk layer (safe: writes are atomic and entries are
+    content-addressed, so concurrent writers only ever duplicate work,
+    never corrupt results).
+    """
+    if not payload.incremental:
+        return None
+
+    def build(_payload: _Payload):
+        from repro.incremental.cache import BoundCache
+
+        return BoundCache(cache_dir=_payload.cache_dir)
+
+    return worker_state("bound_cache", build)
 
 
 def _build_nc_analyzer(payload: _Payload) -> NetworkCalculusAnalyzer:
@@ -80,6 +102,8 @@ def _build_nc_analyzer(payload: _Payload) -> NetworkCalculusAnalyzer:
         payload.network,
         grouping=payload.grouping,
         frame_overhead_bytes=payload.frame_overhead_bytes,
+        incremental=payload.incremental,
+        cache=_worker_cache(payload),
     )
 
 
@@ -89,13 +113,20 @@ def _nc_worker(
     """Analyze one chunk of a propagation level; returns busy seconds too."""
     analyzer = worker_state("netcalc", _build_nc_analyzer)
     start = time.perf_counter()
-    out = [(port_id, analyzer.analyze_port(port_id, buckets)) for port_id, buckets in task]
+    out = [
+        (port_id, analyzer.analyze_port_cached(port_id, buckets))
+        for port_id, buckets in task
+    ]
     return out, time.perf_counter() - start
 
 
 def _build_trajectory_analyzer(payload: _Payload) -> TrajectoryAnalyzer:
     analyzer = TrajectoryAnalyzer(
-        payload.network, serialization=payload.serialization, refine_smax=False
+        payload.network,
+        serialization=payload.serialization,
+        refine_smax=False,
+        incremental=payload.incremental,
+        cache=_worker_cache(payload),
     )
     analyzer.prepare(smax_seed=payload.smax_seed)
     return analyzer
@@ -172,6 +203,12 @@ class BatchAnalyzer:
         utilization, chunk counts and per-worker cache hit-rates land
         in the result's ``stats`` field (and from there in the run
         manifest).
+    incremental / cache_dir:
+        Serve per-port analyses and per-VL walks from the
+        content-addressed bound cache (:mod:`repro.incremental`).  With
+        workers, each process opens its own cache on ``cache_dir``
+        (persistence makes them share entries); results stay
+        bit-identical for any ``jobs``.
     """
 
     def __init__(
@@ -185,6 +222,8 @@ class BatchAnalyzer:
         max_refinements: int = 8,
         collect_stats: bool = False,
         progress=None,
+        incremental: bool = False,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.network = network
         self.jobs = resolve_jobs(jobs)
@@ -195,6 +234,13 @@ class BatchAnalyzer:
         self.max_refinements = max_refinements
         self.collect_stats = collect_stats
         self._progress = progress
+        self.incremental = incremental or cache_dir is not None
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._cache = None
+        if self.incremental:
+            from repro.incremental.cache import BoundCache
+
+            self._cache = BoundCache(cache_dir=self.cache_dir)
 
     # ------------------------------------------------------------------
     # Network Calculus
@@ -209,6 +255,8 @@ class BatchAnalyzer:
                 frame_overhead_bytes=self.frame_overhead_bytes,
                 collect_stats=self.collect_stats,
                 progress=self._progress,
+                incremental=self.incremental,
+                cache=self._cache,
             )
         network = self.network
         obs = Instrumentation.create(self.collect_stats, self._progress)
@@ -227,6 +275,8 @@ class BatchAnalyzer:
             network=network,
             grouping=self.grouping,
             frame_overhead_bytes=self.frame_overhead_bytes,
+            incremental=self.incremental,
+            cache_dir=self.cache_dir,
         )
         progress = obs.progress
         started = time.perf_counter()
@@ -295,6 +345,8 @@ class BatchAnalyzer:
                 max_refinements=self.max_refinements,
                 collect_stats=self.collect_stats,
                 progress=self._progress,
+                incremental=self.incremental,
+                cache=self._cache,
             )
         network = self.network
         obs = Instrumentation.create(self.collect_stats, self._progress)
@@ -312,6 +364,8 @@ class BatchAnalyzer:
             network=network,
             serialization=self.serialization,
             smax_seed=coordinator.smax_snapshot(),
+            incremental=self.incremental,
+            cache_dir=self.cache_dir,
         )
         cumulative: Dict[FlowPortKey, float] = {}
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}

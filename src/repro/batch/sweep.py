@@ -60,6 +60,7 @@ class SweepSpec:
     n_virtual_links: int = 6
     scenarios_per_config: int = 2
     duration_ms: float = 5.0
+    cache_dir: Optional[str] = None  # share bound-cache entries across runs
 
 
 @dataclass(frozen=True)
@@ -144,9 +145,30 @@ class SweepReport:
         return "\n".join(lines)
 
 
+_SWEEP_CACHES: Dict[str, object] = {}
+
+
+def _sweep_cache(spec: SweepSpec):
+    """Per-process BoundCache for a sweep, or None without ``cache_dir``.
+
+    Workers of the same sweep share entries through the on-disk layer;
+    within one process the in-memory LRU serves repeats directly.
+    """
+    if spec.cache_dir is None:
+        return None
+    cache = _SWEEP_CACHES.get(spec.cache_dir)
+    if cache is None:
+        from repro.incremental.cache import BoundCache
+
+        cache = BoundCache(cache_dir=spec.cache_dir)
+        _SWEEP_CACHES[spec.cache_dir] = cache
+    return cache
+
+
 def sweep_one_config(config_seed: int, spec: SweepSpec) -> SweepConfigRecord:
     """Analyze + simulate one seeded configuration (runs in a worker)."""
     record = SweepConfigRecord(config_seed=config_seed)
+    cache = _sweep_cache(spec)
     try:
         network = random_network(
             config_seed,
@@ -154,8 +176,8 @@ def sweep_one_config(config_seed: int, spec: SweepSpec) -> SweepConfigRecord:
             n_end_systems=spec.n_end_systems,
             n_virtual_links=spec.n_virtual_links,
         )
-        nc = analyze_network_calculus(network)
-        trajectory = analyze_trajectory(network, serialization="safe")
+        nc = analyze_network_calculus(network, cache=cache)
+        trajectory = analyze_trajectory(network, serialization="safe", cache=cache)
     except (ConfigurationError, UnstableNetworkError, AnalysisError) as exc:
         record.error = f"{type(exc).__name__}: {exc}"
         return record

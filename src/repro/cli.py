@@ -19,10 +19,19 @@ Subcommands
     Soundness fuzzing: analyze + simulate many seeded random
     configurations in parallel and report any path whose observed
     delay exceeds a claimed bound (see ``docs/BATCH.md``).
+``afdx whatif CONFIG.json EDITS.json``
+    Incremental what-if analysis: apply an edit script (add / remove /
+    retime / resize / re-route VLs) and re-analyze only the dirty
+    region, printing the paths whose bounds changed (see
+    ``docs/INCREMENTAL.md``).
 
 ``analyze``, ``experiment`` and ``batch-sweep`` accept ``--jobs N`` to
 fan the analysis across N worker processes (``repro.batch``); results
 are bit-identical to the sequential ``--jobs 1`` default.
+``analyze``, ``batch-sweep`` and ``whatif`` accept ``--cache-dir DIR``
+to persist the content-addressed bound cache across invocations;
+``analyze`` and ``experiment`` accept ``--profile PATH`` to dump
+cProfile stats (top cumulative functions land in the run manifest).
 
 Observability (every subcommand)
 --------------------------------
@@ -150,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = sequential, 0 = all cores); "
         "results are bit-identical for any N",
     )
+    analyze.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the content-addressed bound cache in DIR "
+        "(bit-identical results, repeat runs reuse cached per-port work)",
+    )
+    analyze.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="dump cProfile stats to PATH (top cumulative functions are "
+        "recorded in the --metrics-json manifest)",
+    )
 
     validate = sub.add_parser("validate", parents=[obs], help="check a configuration")
     validate.add_argument("config", help="configuration JSON file")
@@ -203,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the industrial-config experiments "
         "(table1, fig5, fig6); bit-identical for any N",
     )
+    experiment.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="dump cProfile stats to PATH (top cumulative functions are "
+        "recorded in the --metrics-json manifest)",
+    )
 
     sweep = sub.add_parser(
         "batch-sweep", parents=[obs],
@@ -230,6 +254,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes (1 = sequential, 0 = all cores)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="share the content-addressed bound cache across sweeps "
+        "(and with the other incremental commands)",
+    )
+
+    whatif = sub.add_parser(
+        "whatif", parents=[obs],
+        help="apply an edit script and re-analyze only the dirty region",
+    )
+    whatif.add_argument("config", help="configuration JSON file")
+    whatif.add_argument(
+        "edits",
+        help='edit-script JSON file ({"edits": [{"op": "retime", ...}, ...]})',
+    )
+    whatif.add_argument(
+        "--no-grouping", action="store_true", help="disable NC grouping"
+    )
+    whatif.add_argument(
+        "--serialization",
+        choices=["paper", "windowed", "safe"],
+        default="windowed",
+        help="Trajectory serialization mode (default: windowed)",
+    )
+    whatif.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the bound cache in DIR so repeated what-ifs on the "
+        "same base configuration skip the cold run's recomputation",
     )
 
     return parser
@@ -292,6 +345,7 @@ def _cmd_analyze(args: argparse.Namespace, ctx: _RunContext) -> int:
         serialization=args.serialization,
         collect_stats=ctx.collect,
         progress=ctx.progress,
+        cache_dir=args.cache_dir,
     )
     nc = batch.network_calculus()
     # with workers, reuse the NC result as the trajectory's Smax seed
@@ -422,6 +476,7 @@ def _cmd_batch_sweep(args: argparse.Namespace, ctx: _RunContext) -> int:
         n_virtual_links=args.vls,
         scenarios_per_config=args.scenarios,
         duration_ms=args.duration_ms,
+        cache_dir=args.cache_dir,
     )
     report = batch_sweep(
         spec, jobs=args.jobs, collect_stats=ctx.collect, progress=ctx.progress
@@ -430,6 +485,61 @@ def _cmd_batch_sweep(args: argparse.Namespace, ctx: _RunContext) -> int:
     if ctx.collect and report.stats is not None:
         ctx.analyzers = {"batch_sweep": report.stats}
     return EXIT_FAILURE if report.violations else EXIT_OK
+
+
+def _fmt_bound(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}"
+
+
+def _cmd_whatif(args: argparse.Namespace, ctx: _RunContext) -> int:
+    from repro.incremental import DeltaAnalyzer
+    from repro.incremental.edits import load_edit_script
+
+    network = network_from_json(args.config)
+    ctx.set_config(network, source=args.config)
+    edits = load_edit_script(args.edits)
+    engine = DeltaAnalyzer(
+        network,
+        cache_dir=args.cache_dir,
+        grouping=not args.no_grouping,
+        serialization=args.serialization,
+        collect_stats=ctx.collect,
+        progress=ctx.progress,
+    )
+    engine.analyze_base()
+    delta = engine.apply(edits)
+    stats = delta.stats
+    print(
+        f"whatif: {len(edits)} edit(s), "
+        f"dirty {stats['n_dirty_ports']}/{stats['n_ports']} ports, "
+        f"{stats['n_dirty_vls']}/{stats['n_vls']} VLs, "
+        f"{len(delta.changed)} path bound(s) changed"
+    )
+    if delta.changed:
+        print(
+            f"{'VL path':<24}{'kind':<9}"
+            f"{'WCNC (us)':>24}{'Traj (us)':>24}"
+        )
+        for key, change in delta.changed.items():
+            flow = f"{key[0]}[{key[1]}]"
+            nc = f"{_fmt_bound(change.nc_before_us)} -> {_fmt_bound(change.nc_after_us)}"
+            tr = (
+                f"{_fmt_bound(change.trajectory_before_us)} -> "
+                f"{_fmt_bound(change.trajectory_after_us)}"
+            )
+            print(f"{flow:<24}{change.kind:<9}{nc:>24}{tr:>24}")
+    if ctx.collect:
+        ctx.analyzers = {
+            "network_calculus": delta.netcalc.stats,
+            "trajectory": delta.trajectory.stats,
+        }
+        ctx.metrics.gauge("whatif.dirty_ports", stats["n_dirty_ports"])
+        ctx.metrics.gauge("whatif.dirty_vls", stats["n_dirty_vls"])
+        ctx.metrics.gauge("whatif.changed_paths", len(delta.changed))
+        ctx.metrics.gauge("whatif.cache_entries", stats["cache_entries"])
+        for name, value in stats["cache"].items():
+            ctx.metrics.counter(f"whatif.cache_{name}", value)
+    return EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace, ctx: _RunContext) -> int:
@@ -461,7 +571,34 @@ _COMMANDS = {
     "report": _cmd_report,
     "experiment": _cmd_experiment,
     "batch-sweep": _cmd_batch_sweep,
+    "whatif": _cmd_whatif,
 }
+
+
+def _dump_profile(profiler, path: str) -> Dict[str, object]:
+    """Write cProfile stats to ``path``; return the manifest summary."""
+    import pstats
+
+    profiler.dump_stats(path)
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (filename, line, func), (_, ncalls, tottime, cumtime, _) in stats.stats.items():
+        entries.append((cumtime, tottime, ncalls, f"{filename}:{line}({func})"))
+    entries.sort(key=lambda entry: (-entry[0], entry[3]))
+    return {
+        "stats_path": str(path),
+        "total_calls": int(stats.total_calls),
+        "total_time_s": round(stats.total_tt, 6),
+        "top_cumulative": [
+            {
+                "function": name,
+                "ncalls": int(ncalls),
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+            for cumtime, tottime, ncalls, name in entries[:25]
+        ],
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -475,9 +612,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(str(exc))
     ctx = _RunContext(args)
     status, error, code = "ok", None, EXIT_OK
+    profile_path = getattr(args, "profile", None)
+    profile_summary: Optional[Dict[str, object]] = None
     try:
         with ctx.metrics.timer("cli.total"):
-            code = _COMMANDS[args.command](args, ctx)
+            if profile_path is not None:
+                import cProfile
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+                try:
+                    code = _COMMANDS[args.command](args, ctx)
+                finally:
+                    profiler.disable()
+                    profile_summary = _dump_profile(profiler, profile_path)
+                    print(f"(profile written to {profile_path})", file=sys.stderr)
+            else:
+                code = _COMMANDS[args.command](args, ctx)
     except ConfigurationError as exc:
         status, error, code = "error", str(exc), EXIT_CONFIG_ERROR
     except UnstableNetworkError as exc:
@@ -496,6 +647,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics=ctx.metrics.to_dict(),
             status=status,
             error=error,
+            profile=profile_summary,
         )
         try:
             write_manifest(manifest, ctx.metrics_path)

@@ -40,9 +40,37 @@ __all__ = [
 _EPS = 1e-9
 
 
+def _merge_knots(a, b) -> List[float]:
+    """Sorted union of two ascending knot lists (linear merge).
+
+    Exact duplicates collapse to one entry, matching
+    ``sorted(set(a) | set(b))`` bit for bit — the inputs are already
+    strictly ascending (curve breakpoints by construction, crossings by
+    the segment sweep of :func:`_segment_crossings`), so a linear merge
+    replaces the hash + re-sort on the aggregation hot path.
+    """
+    out: List[float] = []
+    i = j = 0
+    n_a, n_b = len(a), len(b)
+    while i < n_a or j < n_b:
+        if j >= n_b or (i < n_a and a[i] < b[j]):
+            x = a[i]
+            i += 1
+        elif i >= n_a or b[j] < a[i]:
+            x = b[j]
+            j += 1
+        else:  # equal: keep one
+            x = a[i]
+            i += 1
+            j += 1
+        if not out or x != out[-1]:
+            out.append(x)
+    return out
+
+
 def add_curves(f: PiecewiseCurve, g: PiecewiseCurve) -> PiecewiseCurve:
     """Pointwise sum of two curves (aggregate of independent flows)."""
-    xs = sorted({x for x, _ in f.breakpoints} | {x for x, _ in g.breakpoints})
+    xs = _merge_knots(f.knots(), g.knots())
     points = [(x, f(x) + g(x)) for x in xs]
     return PiecewiseCurve(points, f.final_slope + g.final_slope)
 
@@ -116,8 +144,8 @@ def min_curves(f: PiecewiseCurve, g: PiecewiseCurve) -> PiecewiseCurve:
     which discards breakpoints that only exist as floating-point noise
     (see :func:`_concave_envelope`).
     """
-    xs = sorted({x for x, _ in f.breakpoints} | {x for x, _ in g.breakpoints})
-    xs = sorted(set(xs) | set(_segment_crossings(f, g, xs)))
+    xs = _merge_knots(f.knots(), g.knots())
+    xs = _merge_knots(xs, _segment_crossings(f, g, xs))
     points = [(x, min(f(x), g(x))) for x in xs]
     # which curve is lower at infinity decides the final slope
     if f.final_slope < g.final_slope - _EPS:
@@ -202,7 +230,7 @@ def vertical_deviation(alpha: PiecewiseCurve, beta: PiecewiseCurve) -> float:
     """
     if alpha.final_slope > beta.final_slope + _EPS:
         return math.inf
-    xs = sorted({x for x, _ in alpha.breakpoints} | {x for x, _ in beta.breakpoints})
+    xs = _merge_knots(alpha.knots(), beta.knots())
     best = 0.0
     for x in xs:
         best = max(best, alpha(x) - beta(x))

@@ -45,7 +45,7 @@ class PiecewiseCurve:
     Instances are immutable; operations return new curves.
     """
 
-    __slots__ = ("_points", "_final_slope")
+    __slots__ = ("_points", "_final_slope", "_knots_cache")
 
     def __init__(self, breakpoints: Iterable[Tuple[float, float]], final_slope: float):
         points = _dedupe(list(breakpoints))
@@ -63,6 +63,7 @@ class PiecewiseCurve:
             raise ValueError(f"final slope must be non-negative, got {final_slope}")
         self._points: Tuple[Tuple[float, float], ...] = tuple(points)
         self._final_slope = max(0.0, float(final_slope))
+        self._knots_cache: "Tuple[float, ...] | None" = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -167,8 +168,20 @@ class PiecewiseCurve:
     # Comparison helpers
     # ------------------------------------------------------------------
 
+    def knots(self) -> Tuple[float, ...]:
+        """The breakpoint x values — ascending by construction, cached.
+
+        Curves are immutable, so the min-plus operations
+        (:mod:`repro.curves.operations`) treat this as a pre-sorted
+        knot list and take linear merges instead of re-sorting set
+        unions on every operation.
+        """
+        if self._knots_cache is None:
+            self._knots_cache = tuple(x for x, _ in self._points)
+        return self._knots_cache
+
     def _knots(self) -> List[float]:
-        return [x for x, _ in self._points]
+        return list(self.knots())
 
     def equals(self, other: "PiecewiseCurve", tol: float = 1e-6) -> bool:
         """Pointwise equality (checked on the union of breakpoints)."""

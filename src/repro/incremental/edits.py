@@ -1,0 +1,248 @@
+"""The edit model of the incremental engine.
+
+An :class:`Edit` is one admission-control operation on a configuration:
+add / remove / retime (BAG) / resize (frame size) / re-route a Virtual
+Link.  Edits are *pure*: :func:`apply_edits` returns a fresh
+:class:`~repro.network.topology.Network` (the input is never mutated)
+together with the :class:`EditImpact` — the set of output ports whose
+analysis inputs the batch of edits touched directly.  The incremental
+engine grows that seed into the downstream dirty closure
+(:func:`repro.incremental.delta.dirty_closure`) and recomputes only
+inside it.
+
+Edit scripts — the ``afdx whatif`` input — are JSON documents::
+
+    {"edits": [
+      {"op": "retime",  "vl": "vl0001", "bag_ms": 8},
+      {"op": "resize",  "vl": "vl0002", "s_max_bytes": 300},
+      {"op": "reroute", "vl": "vl0003", "paths": [["e1", "S1", "e2"]]},
+      {"op": "remove",  "vl": "vl0004"},
+      {"op": "add",     "vl": {"name": "vl2001", "source": "e1",
+                               "bag_ms": 16, "s_max_bytes": 200,
+                               "paths": [["e1", "S1", "e2"]]}}
+    ]}
+
+Malformed scripts raise :class:`~repro.errors.ConfigurationError`, which
+the CLI maps to its configuration exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, UnknownNodeError
+from repro.network.port import PortId
+from repro.network.topology import Network
+from repro.network.virtual_link import VirtualLink
+
+__all__ = [
+    "Edit",
+    "AddVL",
+    "RemoveVL",
+    "RetimeVL",
+    "ResizeVL",
+    "RerouteVL",
+    "EditImpact",
+    "apply_edits",
+    "parse_edit_script",
+    "load_edit_script",
+]
+
+
+@dataclass(frozen=True)
+class AddVL:
+    """Admit a new Virtual Link."""
+
+    vl: VirtualLink
+
+    def describe(self) -> str:
+        return f"add {self.vl.name}"
+
+
+@dataclass(frozen=True)
+class RemoveVL:
+    """Withdraw a Virtual Link."""
+
+    name: str
+
+    def describe(self) -> str:
+        return f"remove {self.name}"
+
+
+@dataclass(frozen=True)
+class RetimeVL:
+    """Change a VL's BAG (the admission loop's main repair move)."""
+
+    name: str
+    bag_ms: float
+
+    def describe(self) -> str:
+        return f"retime {self.name} bag={self.bag_ms}ms"
+
+
+@dataclass(frozen=True)
+class ResizeVL:
+    """Change a VL's maximum frame size."""
+
+    name: str
+    s_max_bytes: float
+
+    def describe(self) -> str:
+        return f"resize {self.name} s_max={self.s_max_bytes}B"
+
+
+@dataclass(frozen=True)
+class RerouteVL:
+    """Replace a VL's multicast routing."""
+
+    name: str
+    paths: Tuple[Tuple[str, ...], ...]
+
+    def describe(self) -> str:
+        return f"reroute {self.name} ({len(self.paths)} paths)"
+
+
+Edit = Union[AddVL, RemoveVL, RetimeVL, ResizeVL, RerouteVL]
+
+
+@dataclass(frozen=True)
+class EditImpact:
+    """What a batch of edits touched directly.
+
+    Attributes
+    ----------
+    changed_vls:
+        Names of VLs added, removed or modified.
+    dirty_ports:
+        Output ports whose flow membership or some crossing VL's
+        contract changed — the seed of the downstream dirty closure.
+        Ports of *removed* paths are included only while still used in
+        the edited network (an unused port has no analysis to redo).
+    """
+
+    changed_vls: FrozenSet[str]
+    dirty_ports: FrozenSet[PortId]
+
+
+def _path_ports(paths: Sequence[Sequence[str]]) -> FrozenSet[PortId]:
+    ports = set()
+    for path in paths:
+        ports.update(zip(path, path[1:]))
+    return frozenset(ports)
+
+
+def apply_edits(network: Network, edits: Sequence[Edit]) -> Tuple[Network, EditImpact]:
+    """Apply a batch of edits to a copy of ``network``.
+
+    Raises
+    ------
+    ConfigurationError
+        On contradictory edits (removing an unknown VL, adding a
+        duplicate name, editing a VL removed earlier in the batch) —
+        wrapped so the CLI reports them as configuration errors.
+    """
+    edited = network.copy()
+    changed: set = set()
+    dirty: set = set()
+    for edit in edits:
+        try:
+            dirty |= _apply_one(edited, edit, changed)
+        except (UnknownNodeError, ConfigurationError) as exc:
+            raise ConfigurationError(f"edit '{edit.describe()}': {exc}") from exc
+    # only ports that still carry traffic have an analysis to redo
+    used = set(edited.used_ports())
+    return edited, EditImpact(
+        changed_vls=frozenset(changed), dirty_ports=frozenset(dirty & used)
+    )
+
+
+def _apply_one(network: Network, edit: Edit, changed: set) -> set:
+    if isinstance(edit, AddVL):
+        network.add_virtual_link(edit.vl)
+        changed.add(edit.vl.name)
+        return set(_path_ports(edit.vl.paths))
+    if isinstance(edit, RemoveVL):
+        vl = network.vl(edit.name)
+        del network.virtual_links[edit.name]
+        network._invalidate()
+        changed.add(edit.name)
+        return set(_path_ports(vl.paths))
+    if isinstance(edit, RetimeVL):
+        vl = network.vl(edit.name)
+        network.replace_virtual_link(vl.with_bag_ms(edit.bag_ms))
+        changed.add(edit.name)
+        return set(_path_ports(vl.paths))
+    if isinstance(edit, ResizeVL):
+        vl = network.vl(edit.name)
+        network.replace_virtual_link(vl.with_s_max_bytes(edit.s_max_bytes))
+        changed.add(edit.name)
+        return set(_path_ports(vl.paths))
+    if isinstance(edit, RerouteVL):
+        vl = network.vl(edit.name)
+        network.replace_virtual_link(vl.with_paths(edit.paths))
+        changed.add(edit.name)
+        return set(_path_ports(vl.paths)) | set(_path_ports(edit.paths))
+    raise ConfigurationError(f"unknown edit type {type(edit).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Edit scripts (the `afdx whatif` input)
+# ----------------------------------------------------------------------
+
+
+def parse_edit_script(data: Dict[str, object]) -> List[Edit]:
+    """Parse a decoded edit-script document into edit objects."""
+    raw = data.get("edits")
+    if not isinstance(raw, list):
+        raise ConfigurationError("edit script must contain an 'edits' array")
+    edits: List[Edit] = []
+    for index, entry in enumerate(raw):
+        try:
+            edits.append(_parse_entry(entry))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"edit #{index + 1} is malformed: {exc}") from exc
+    return edits
+
+
+def _parse_entry(entry: Dict[str, object]) -> Edit:
+    op = entry["op"]
+    if op == "add":
+        spec = entry["vl"]
+        return AddVL(
+            VirtualLink(
+                name=spec["name"],
+                source=spec["source"],
+                paths=tuple(tuple(p) for p in spec["paths"]),
+                bag_ms=spec["bag_ms"],
+                s_max_bytes=spec["s_max_bytes"],
+                s_min_bytes=spec.get("s_min_bytes", 64),
+                priority=spec.get("priority", 0),
+            )
+        )
+    if op == "remove":
+        return RemoveVL(name=entry["vl"])
+    if op == "retime":
+        return RetimeVL(name=entry["vl"], bag_ms=float(entry["bag_ms"]))
+    if op == "resize":
+        return ResizeVL(name=entry["vl"], s_max_bytes=float(entry["s_max_bytes"]))
+    if op == "reroute":
+        return RerouteVL(
+            name=entry["vl"], paths=tuple(tuple(p) for p in entry["paths"])
+        )
+    raise ValueError(f"unknown op {op!r}")
+
+
+def load_edit_script(path: Union[str, Path]) -> List[Edit]:
+    """Read and parse an edit-script JSON file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read edit script {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed JSON in {path}: {exc}") from exc
+    return parse_edit_script(data)

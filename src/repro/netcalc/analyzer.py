@@ -63,6 +63,19 @@ class NetworkCalculusAnalyzer:
     progress:
         Optional ``callable(phase, done, total)`` invoked during the
         port propagation of large configurations.
+    incremental:
+        Serve per-port analyses from a content-addressed
+        :class:`~repro.incremental.cache.BoundCache` keyed by Merkle
+        dependency fingerprints (:mod:`repro.incremental.fingerprint`).
+        A hit is bit-identical to recomputation by construction — the
+        fingerprint covers every input of :meth:`analyze_port` — so
+        results are unchanged; only repeated analyses of near-identical
+        configurations get faster.
+    cache:
+        The cache to use when ``incremental`` (shared by the
+        :class:`~repro.incremental.delta.DeltaAnalyzer` across edits
+        and analyzers); defaults to the process-wide cache.  Passing a
+        cache implies ``incremental=True``.
     """
 
     def __init__(
@@ -72,14 +85,68 @@ class NetworkCalculusAnalyzer:
         frame_overhead_bytes: float = 0.0,
         collect_stats: bool = False,
         progress=None,
+        incremental: bool = False,
+        cache=None,
     ):
         if frame_overhead_bytes < 0:
             raise ValueError(f"frame overhead must be >= 0, got {frame_overhead_bytes}")
         self.network = network
         self.grouping = grouping
         self.frame_overhead_bits = frame_overhead_bytes * 8.0
+        self.incremental = incremental or cache is not None
+        self._cache = cache
+        self._fingerprints: "Dict[PortId, str] | None" = None
         self._obs = Instrumentation.create(collect_stats, progress)
         self._result: "NetworkCalculusResult | None" = None
+
+    def _resolve_cache(self):
+        """The bound cache, or None when not incremental (lazy import)."""
+        if not self.incremental:
+            return None
+        if self._cache is None:
+            from repro.incremental.cache import default_cache
+
+            self._cache = default_cache()
+        return self._cache
+
+    def result_fingerprint(self) -> str:
+        """Digest of the whole analysis' inputs (network + parameters)."""
+        from repro.incremental.fingerprint import network_fingerprint, stable_digest
+
+        return stable_digest(
+            "ncresult",
+            network_fingerprint(self.network),
+            self.grouping,
+            self.frame_overhead_bits,
+        )
+
+    def port_fingerprints(self) -> Dict[PortId, str]:
+        """Merkle dependency digests of every used port (computed once)."""
+        if self._fingerprints is None:
+            from repro.incremental.fingerprint import netcalc_port_fingerprints
+
+            self._fingerprints = netcalc_port_fingerprints(
+                self.network, self.grouping, self.frame_overhead_bits
+            )
+        return self._fingerprints
+
+    def analyze_port_cached(
+        self, port_id: PortId, buckets: "Dict[str, LeakyBucket]"
+    ) -> PortAnalysis:
+        """:meth:`analyze_port` through the bound cache (if incremental).
+
+        The batch workers' entry point: falls back to a plain
+        :meth:`analyze_port` when the analyzer is not incremental.
+        """
+        cache = self._resolve_cache()
+        if cache is None:
+            return self.analyze_port(port_id, buckets)
+        fingerprint = self.port_fingerprints()[port_id]
+        analysis = cache.get("nc.port", fingerprint)
+        if analysis is None:
+            analysis = self.analyze_port(port_id, buckets)
+            cache.put("nc.port", fingerprint, analysis)
+        return analysis
 
     # ------------------------------------------------------------------
 
@@ -186,6 +253,30 @@ class NetworkCalculusAnalyzer:
             return self._result
         network = self.network
         obs = self._obs
+
+        result_cache = self._resolve_cache()
+        result_fp: "str | None" = None
+        if result_cache is not None:
+            with obs.tracer.span("netcalc.result_probe"):
+                result_fp = self.result_fingerprint()
+                cached = result_cache.get("nc.result", result_fp)
+            if cached is not None:
+                # shallow copy: callers may attach stats without
+                # touching the cached object
+                result = NetworkCalculusResult(
+                    grouping=cached.grouping,
+                    ports=dict(cached.ports),
+                    paths=dict(cached.paths),
+                )
+                if obs.enabled:
+                    obs.metrics.counter("netcalc.result_cache_hit", 1)
+                    result.stats = obs.export()
+                _LOG.debug(
+                    "netcalc result cache hit %s", kv(paths=len(result.paths))
+                )
+                self._result = result
+                return result
+
         with obs.tracer.span("netcalc.validate"):
             check_network(network)
         with obs.tracer.span("netcalc.toposort"):
@@ -194,6 +285,13 @@ class NetworkCalculusAnalyzer:
 
         # bucket of each flow when entering each port of its tree
         entering = self.ingress_buckets()
+
+        cache = self._resolve_cache()
+        fingerprints: Dict[PortId, str] = {}
+        cache_hits = cache_misses = 0
+        if cache is not None:
+            with obs.tracer.span("netcalc.fingerprint"):
+                fingerprints = self.port_fingerprints()
 
         result = NetworkCalculusResult(grouping=self.grouping)
         port_delay: Dict[PortId, float] = {}
@@ -208,11 +306,22 @@ class NetworkCalculusAnalyzer:
             for index, port_id in enumerate(order):
                 if progress:
                     progress.update("netcalc.propagate", index, len(order))
-                buckets = {
-                    name: entering[(name, port_id)]
-                    for name in network.vls_at_port(port_id)
-                }
-                analysis = self.analyze_port(port_id, buckets)
+                analysis = (
+                    cache.get("nc.port", fingerprints[port_id])
+                    if cache is not None
+                    else None
+                )
+                if analysis is None:
+                    buckets = {
+                        name: entering[(name, port_id)]
+                        for name in network.vls_at_port(port_id)
+                    }
+                    analysis = self.analyze_port(port_id, buckets)
+                    if cache is not None:
+                        cache.put("nc.port", fingerprints[port_id], analysis)
+                        cache_misses += 1
+                else:
+                    cache_hits += 1
                 port_delay[port_id] = analysis.delay_us
                 result.ports[port_id] = analysis
                 # propagate every flow to its next port(s)
@@ -225,6 +334,9 @@ class NetworkCalculusAnalyzer:
         if collect:
             obs.metrics.counter("netcalc.ports_analyzed", len(order))
             obs.metrics.counter("netcalc.flow_propagations", flows_propagated)
+            if cache is not None:
+                obs.metrics.counter("netcalc.port_cache_hits", cache_hits)
+                obs.metrics.counter("netcalc.port_cache_misses", cache_misses)
             obs.metrics.gauge(
                 "netcalc.groups",
                 sum(analysis.n_groups for analysis in result.ports.values()),
@@ -232,6 +344,16 @@ class NetworkCalculusAnalyzer:
 
         with obs.tracer.span("netcalc.paths"):
             self.finalize_paths(result, port_delay)
+        if result_cache is not None and result_fp is not None:
+            result_cache.put(
+                "nc.result",
+                result_fp,
+                NetworkCalculusResult(
+                    grouping=result.grouping,
+                    ports=dict(result.ports),
+                    paths=dict(result.paths),
+                ),
+            )
         if collect:
             obs.metrics.counter("netcalc.paths_bound", len(result.paths))
             result.stats = obs.export()
@@ -250,6 +372,8 @@ def analyze_network_calculus(
     frame_overhead_bytes: float = 0.0,
     collect_stats: bool = False,
     progress=None,
+    incremental: bool = False,
+    cache=None,
 ) -> NetworkCalculusResult:
     """One-shot convenience wrapper around :class:`NetworkCalculusAnalyzer`."""
     return NetworkCalculusAnalyzer(
@@ -258,4 +382,6 @@ def analyze_network_calculus(
         frame_overhead_bytes=frame_overhead_bytes,
         collect_stats=collect_stats,
         progress=progress,
+        incremental=incremental,
+        cache=cache,
     ).analyze()

@@ -316,9 +316,17 @@ class Network:
         )
 
     def port_utilization(self, port_id: PortId) -> float:
-        """Long-term utilization of a port: ``sum(s_max / BAG) / rate``."""
+        """Long-term utilization of a port: ``sum(s_max / BAG) / rate``.
+
+        Summed in sorted-name order: float addition is not associative,
+        and set iteration order varies with insertion history and hash
+        seed — canonical order keeps the value bit-identical for
+        set-equal networks (the incremental cache's contract).
+        """
         rate = self.link_rate(*port_id)
-        demand = sum(self._vls[v].rate_bits_per_us for v in self.vls_at_port(port_id))
+        demand = sum(
+            self._vls[v].rate_bits_per_us for v in sorted(self.vls_at_port(port_id))
+        )
         return demand / rate
 
     def max_utilization(self) -> float:

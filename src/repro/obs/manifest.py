@@ -79,12 +79,15 @@ def build_manifest(
     metrics: Optional[Dict[str, object]] = None,
     status: str = "ok",
     error: Optional[str] = None,
+    profile: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble a schema-conformant manifest dict.
 
     ``analyzers`` maps analyzer names (``"network_calculus"``,
     ``"trajectory"``, ``"simulation"``) to their exported ``stats``
-    dicts; ``metrics`` is the command-level registry snapshot.
+    dicts; ``metrics`` is the command-level registry snapshot;
+    ``profile`` is the cProfile summary written by ``--profile PATH``
+    (stats path, call totals and the top cumulative functions).
     """
     from repro import __version__
 
@@ -107,6 +110,8 @@ def build_manifest(
         manifest["bounds"] = dict(bounds)
     if metrics is not None:
         manifest["metrics"] = dict(metrics)
+    if profile is not None:
+        manifest["profile"] = dict(profile)
     return manifest
 
 
@@ -223,3 +228,20 @@ def validate_manifest(manifest: Dict[str, object]) -> None:
                 _check_bound_agg(bounds[method], f"$.bounds.{method}")
     if "metrics" in manifest:
         _check_stats_block(manifest["metrics"], "$.metrics", require_spans=False)
+    if "profile" in manifest:
+        profile = manifest["profile"]
+        if not isinstance(profile, dict):
+            _fail("$.profile", "must be an object")
+        _require(profile, "stats_path", str, "$.profile")
+        _require(profile, "total_calls", int, "$.profile")
+        _require(profile, "total_time_s", (int, float), "$.profile")
+        top = _require(profile, "top_cumulative", list, "$.profile")
+        for index, entry in enumerate(top):
+            if not isinstance(entry, dict):
+                _fail(f"$.profile.top_cumulative[{index}]", "must be an object")
+            _require(entry, "function", str, f"$.profile.top_cumulative[{index}]")
+            _require(entry, "ncalls", int, f"$.profile.top_cumulative[{index}]")
+            for field in ("tottime_s", "cumtime_s"):
+                _require(
+                    entry, field, (int, float), f"$.profile.top_cumulative[{index}]"
+                )

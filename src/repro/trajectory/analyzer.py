@@ -41,6 +41,7 @@ industrial configuration tractable in seconds.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.netcalc.analyzer import analyze_network_calculus
@@ -65,6 +66,28 @@ __all__ = ["TrajectoryAnalyzer", "analyze_trajectory"]
 _LOG = get_logger("trajectory")
 
 _EPS = 1e-6
+
+
+def _flow_events(
+    c: float, period: float, offset: float, horizon: float
+) -> Tuple[float, Tuple[Tuple[float, float], ...]]:
+    """One flow's base workload and candidate jump events ``(t, C)``.
+
+    Pure in its four floats, which is what makes the per-sweep
+    event memo in :meth:`TrajectoryAnalyzer._walk_tree` exact: the same
+    ``(C, T, A, horizon)`` always reproduces the same event tuple.
+    """
+    base = interference_count(0.0, offset, period) * c
+    flow_events = []
+    k = int((offset // period) + 1)
+    while True:
+        t = k * period - offset
+        if t >= horizon:
+            break
+        if t > _EPS:
+            flow_events.append((t, c))
+        k += 1
+    return base, tuple(flow_events)
 
 
 class TrajectoryAnalyzer:
@@ -97,6 +120,20 @@ class TrajectoryAnalyzer:
     progress:
         Optional ``callable(phase, done, total)`` invoked as each
         sweep walks the VL population.
+    incremental:
+        Serve per-VL tree walks from a content-addressed
+        :class:`~repro.incremental.cache.BoundCache`.  The fixed point
+        is *replayed* — the same sweep/tighten sequence as a cold run,
+        so every intermediate ``Smax`` map stays a sound upper bound
+        and the final bounds are bit-identical — but each walk whose
+        inputs (tree structure, competitor contracts and the exact
+        ``Smax`` slice it reads) are unchanged is a cache hit.  On an
+        edited configuration only the VLs crossing the dirty closure
+        ever miss; see :mod:`repro.incremental.delta`.
+    cache:
+        The cache to use when ``incremental``; defaults to the
+        process-wide cache.  Passing a cache implies
+        ``incremental=True``.
     """
 
     def __init__(
@@ -107,6 +144,8 @@ class TrajectoryAnalyzer:
         max_refinements: int = 8,
         collect_stats: bool = False,
         progress=None,
+        incremental: bool = False,
+        cache=None,
     ):
         if max_refinements < 1:
             raise ValueError(f"max_refinements must be >= 1, got {max_refinements}")
@@ -114,9 +153,13 @@ class TrajectoryAnalyzer:
         self.serialization_mode = normalize_mode(serialization)
         self.refine_smax = refine_smax
         self.max_refinements = max_refinements
+        self.incremental = incremental or cache is not None
+        self._cache = cache
+        self._walk_cache = None
         self._obs = Instrumentation.create(collect_stats, progress)
         self._result: Optional[TrajectoryResult] = None
         self._prepared = False
+        self._event_memo_enabled = True  # test hook: equivalence guard
 
     # ------------------------------------------------------------------
 
@@ -138,14 +181,40 @@ class TrajectoryAnalyzer:
 
         if smax_seed is None:
             with obs.tracer.span("trajectory.nc_seed"):
-                nc_seed = analyze_network_calculus(network, grouping=True)
+                nc_seed = analyze_network_calculus(
+                    network,
+                    grouping=True,
+                    incremental=self.incremental,
+                    cache=self._cache,
+                )
             smax_seed = seed_smax_from_netcalc(network, nc_seed)
         with obs.tracer.span("trajectory.precompute"):
             self._smin = compute_smin(network)
             self._smax: Dict[FlowPortKey, float] = dict(smax_seed)
             self._prefixes = tree_prefixes(network)
             self._precompute_structure()
+        if self.incremental:
+            # imported lazily: repro.incremental depends on this module
+            from repro.incremental.cache import default_cache
+
+            self._walk_cache = (
+                self._cache if self._cache is not None else default_cache()
+            )
+            with obs.tracer.span("trajectory.walk_fingerprints"):
+                self._prepare_walk_fingerprints()
         self._prepared = True
+
+    def result_fingerprint(self) -> str:
+        """Digest of the whole analysis' inputs (network + parameters)."""
+        from repro.incremental.fingerprint import network_fingerprint, stable_digest
+
+        return stable_digest(
+            "trajresult",
+            network_fingerprint(self.network),
+            self.serialization_mode,
+            self.refine_smax,
+            self.max_refinements,
+        )
 
     def analyze(self) -> TrajectoryResult:
         """Run the analysis and return (and cache) the result."""
@@ -154,6 +223,33 @@ class TrajectoryAnalyzer:
         network = self.network
         obs = self._obs
         collect = obs.enabled
+
+        # Whole-result reuse: only when this call would do the default
+        # NC seeding itself (a custom prepare(smax_seed) is not covered
+        # by the fingerprint).
+        result_cache = result_fp = None
+        if self.incremental and not self._prepared:
+            from repro.incremental.cache import default_cache
+
+            result_cache = self._cache if self._cache is not None else default_cache()
+            with obs.tracer.span("trajectory.result_probe"):
+                result_fp = self.result_fingerprint()
+                cached = result_cache.get("traj.result", result_fp)
+            if cached is not None:
+                result = TrajectoryResult(
+                    serialization=cached.serialization,
+                    refinement_iterations=cached.refinement_iterations,
+                    paths=dict(cached.paths),
+                )
+                if collect:
+                    obs.metrics.counter("trajectory.result_cache_hit", 1)
+                    result.stats = obs.export()
+                _LOG.debug(
+                    "trajectory result cache hit %s", kv(paths=len(result.paths))
+                )
+                self._result = result
+                return result
+
         self.prepare()
 
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
@@ -190,6 +286,16 @@ class TrajectoryAnalyzer:
                 break
 
         result = self.build_result(bounds, sweeps)
+        if result_cache is not None and result_fp is not None:
+            result_cache.put(
+                "traj.result",
+                result_fp,
+                TrajectoryResult(
+                    serialization=result.serialization,
+                    refinement_iterations=result.refinement_iterations,
+                    paths=dict(result.paths),
+                ),
+            )
         if collect:
             obs.metrics.counter("trajectory.sweeps", sweeps)
             obs.metrics.counter("trajectory.tree_ports_visited", sweeps * len(bounds))
@@ -299,10 +405,110 @@ class TrajectoryAnalyzer:
         self._meeting_cache: Dict[
             FlowPortKey, Tuple[Tuple[str, ...], Tuple[str, ...], float]
         ] = {}
+        # candidate-event memo: the jump instants of a competitor entry
+        # depend only on (C, T, offset, horizon), and within one sweep
+        # the same entry recurs at every meeting port of every studied
+        # VL sharing it — cleared per sweep since offsets move between
+        # sweeps (`_flow_events`).
+        self._event_cache: Dict[
+            Tuple[float, float, float, float], Tuple[float, Tuple[Tuple[float, float], ...]]
+        ] = {}
+        # per-sweep packed Smax slices, one per port (`_port_pack`) —
+        # only filled when incremental, but cleared unconditionally
+        self._port_packs: Dict[PortId, bytes] = {}
         self._cache_counters: Dict[str, List[int]] = {
             "horizon": [0, 0],
             "meetings": [0, 0],
+            "events": [0, 0],
         }
+        if self.incremental:
+            self._cache_counters["walk"] = [0, 0]
+
+    def _tree_ports(self, vl_name: str) -> List[PortId]:
+        """One VL's tree ports in the DFS preorder :meth:`_walk_tree` visits."""
+        root, children = self._trees[vl_name]
+        out: List[PortId] = []
+        stack = [root]
+        while stack:
+            port = stack.pop()
+            out.append(port)
+            stack.extend(reversed(children.get(port, ())))
+        return out
+
+    def _prepare_walk_fingerprints(self) -> None:
+        """Per-VL structural digest + the ``Smax`` slice each walk reads.
+
+        A walk of ``v`` observes: its own contract and tree; at each
+        tree port the rate, largest frame, owner latency, and every
+        crossing flow's contract (``C``/``T`` terms, gain groups and
+        the re-meeting test all derive from contracts + routing) and
+        upstream port; the ``Smin`` entries at those ports; the
+        serialization mode — all sweep-invariant, folded into
+        ``_walk_struct_fp`` here — plus the current ``Smax`` values of
+        every member at every tree port, hashed per sweep in
+        :meth:`sweep_vls`.  Together these cover every input of
+        :meth:`_walk_tree` bit for bit, so equal fingerprints
+        guarantee an identical walk result.
+
+        The ``Smax`` slice is packed *per port* (``_port_pack``), not
+        per VL: many VLs share a port, and packing each port's member
+        slice once per sweep instead of once per sharing VL drops the
+        fingerprint cost from |VLs|x|tree|x|members| float reads to
+        |ports|x|members|.  Concatenating per-port packs over
+        ``_walk_tree_ports`` feeds the hash exactly the same bytes in
+        the same order as the flat per-VL slice did (members per port,
+        ports in tree order), so the resulting digest — and therefore
+        every cache address — is bit-identical to the naive packing.
+        """
+        from repro.incremental.fingerprint import stable_digest, vl_fingerprint
+
+        network = self.network
+        contracts = {
+            name: vl_fingerprint(network.vl(name))
+            for name in sorted(network.virtual_links)
+        }
+        self._walk_tree_ports: Dict[str, Tuple[PortId, ...]] = {}
+        self._walk_struct_fp: Dict[str, bytes] = {}
+        for vl_name in sorted(network.virtual_links):
+            parts: List[object] = [self.serialization_mode, contracts[vl_name]]
+            tree_ports = tuple(self._tree_ports(vl_name))
+            for port in tree_ports:
+                members = self._port_vls[port]
+                parts.append(
+                    (
+                        port,
+                        float(self._port_rate[port]),
+                        float(self._port_max_c[port]),
+                        float(network.node(port[0]).technological_latency_us),
+                        tuple(
+                            (m, contracts[m], self._upstream[(m, port)])
+                            for m in members
+                        ),
+                        tuple(float(self._smin[(m, port)]) for m in members),
+                    )
+                )
+            self._walk_tree_ports[vl_name] = tree_ports
+            self._walk_struct_fp[vl_name] = stable_digest(
+                "trajwalk", *parts
+            ).encode()
+
+    def _port_pack(self, port: PortId) -> bytes:
+        """This sweep's packed ``Smax`` slice of one port's members."""
+        pack = self._port_packs.get(port)
+        if pack is None:
+            from repro.incremental.fingerprint import pack_floats
+
+            smax = self._smax
+            pack = pack_floats([smax[(m, port)] for m in self._port_vls[port]])
+            self._port_packs[port] = pack
+        return pack
+
+    def _walk_fingerprint(self, vl_name: str) -> str:
+        """Digest of one walk's complete inputs under the current ``Smax``."""
+        digest = hashlib.sha256(self._walk_struct_fp[vl_name])
+        for port in self._walk_tree_ports[vl_name]:
+            digest.update(self._port_pack(port))
+        return digest.hexdigest()
 
     def cache_stats(self) -> Dict[str, Tuple[int, int]]:
         """Per-cache ``(hits, misses)`` of the per-node memo caches."""
@@ -376,10 +582,32 @@ class TrajectoryAnalyzer:
             raise RuntimeError("prepare() must run before sweep_vls()")
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
         progress = self._obs.progress
+        cache = self._walk_cache
+        # candidate events shift with Smax between sweeps: stale keys
+        # would only miss, so clearing merely bounds the memo's size
+        self._event_cache.clear()
+        # port packs, by contrast, MUST be dropped: Smax tightened
+        # since the last sweep, and a stale pack would alias two
+        # different walk inputs onto one fingerprint
+        self._port_packs.clear()
         for index, vl_name in enumerate(vl_names):
             if progress:
                 progress.update("trajectory.sweep", index, len(vl_names))
-            self._walk_tree(vl_name, bounds)
+            if cache is None:
+                self._walk_tree(vl_name, bounds)
+                continue
+            walk_counters = self._cache_counters["walk"]
+            fingerprint = self._walk_fingerprint(vl_name)
+            cached = cache.get("traj.walk", fingerprint)
+            if cached is not None:
+                walk_counters[0] += 1
+                bounds.update(cached)
+            else:
+                walk_counters[1] += 1
+                local: Dict[FlowPortKey, TrajectoryPathBound] = {}
+                self._walk_tree(vl_name, local)
+                cache.put("traj.walk", fingerprint, local)
+                bounds.update(local)
         if progress:
             progress.update("trajectory.sweep", len(vl_names), len(vl_names))
         return bounds
@@ -528,23 +756,29 @@ class TrajectoryAnalyzer:
 
         base_workload = 0.0
         events: List[Tuple[float, float]] = []
+        event_cache = self._event_cache
+        event_counters = self._cache_counters["events"]
+        memo_enabled = self._event_memo_enabled
 
         def add_flow(entry: Tuple[float, float, float]) -> int:
             """Fold one flow into the workload state; return #events added."""
             nonlocal base_workload
             c, period, offset = entry
-            base_workload += interference_count(0.0, offset, period) * c
-            added = 0
-            k = int((offset // period) + 1)
-            while True:
-                t = k * period - offset
-                if t >= horizon:
-                    break
-                if t > _EPS:
-                    events.append((t, c))
-                    added += 1
-                k += 1
-            return added
+            if memo_enabled:
+                key = (c, period, offset, horizon)
+                cached = event_cache.get(key)
+                if cached is None:
+                    event_counters[1] += 1
+                    cached = _flow_events(c, period, offset, horizon)
+                    event_cache[key] = cached
+                else:
+                    event_counters[0] += 1
+                base, flow_events = cached
+            else:
+                base, flow_events = _flow_events(c, period, offset, horizon)
+            base_workload += base
+            events.extend(flow_events)
+            return len(flow_events)
 
         def remove_flow(entry: Tuple[float, float, float]) -> None:
             nonlocal base_workload
@@ -684,6 +918,8 @@ def analyze_trajectory(
     max_refinements: int = 8,
     collect_stats: bool = False,
     progress=None,
+    incremental: bool = False,
+    cache=None,
 ) -> TrajectoryResult:
     """One-shot convenience wrapper around :class:`TrajectoryAnalyzer`."""
     return TrajectoryAnalyzer(
@@ -693,4 +929,6 @@ def analyze_trajectory(
         max_refinements=max_refinements,
         collect_stats=collect_stats,
         progress=progress,
+        incremental=incremental,
+        cache=cache,
     ).analyze()

@@ -59,6 +59,37 @@ class TestDeterminism:
             a.vl(n).s_max_bytes != b.vl(n).s_max_bytes for n in a.virtual_links
         )
 
+    def test_byte_identical_across_hash_seeds(self):
+        """Same spec -> byte-identical JSON under different PYTHONHASHSEED.
+
+        The generator must not leak set/dict iteration order into the
+        network: cache fingerprints and the incremental equivalence
+        gate both assume a spec pins the configuration exactly.
+        """
+        import subprocess
+        import sys
+
+        code = (
+            "import sys;"
+            "from repro.configs import IndustrialConfigSpec, industrial_network;"
+            "from repro.network import network_to_dict;"
+            "import json;"
+            "spec = IndustrialConfigSpec(n_virtual_links=40, end_systems_per_switch=4);"
+            "json.dump(network_to_dict(industrial_network(spec)), sys.stdout, sort_keys=True)"
+        )
+        outs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("0", "4242")
+        }
+        assert len(outs) == 1
+        assert outs.pop()  # non-empty payload actually compared
+
 
 class TestContracts:
     def test_bags_are_harmonic(self, small):

@@ -198,3 +198,29 @@ class TestConcaveEnvelope:
         # slopes increase again, so the dip must be dropped
         dipping = [(0.0, 0.0), (10.0, 100.0), (10.0 + 1e-7, 100.0 - 1e-9)]
         assert _concave_envelope(dipping, 2.0) == [(0.0, 0.0), (10.0, 100.0)]
+
+
+class TestMergeKnots:
+    """The linear merge must be bit-identical to ``sorted(set|set)``."""
+
+    def test_matches_set_union_on_random_ascending_lists(self):
+        import random
+
+        from repro.curves.operations import _merge_knots
+
+        rng = random.Random(99)
+        for _ in range(200):
+            pool = sorted({rng.uniform(0, 100) for _ in range(rng.randrange(0, 12))})
+            a = sorted(rng.sample(pool, rng.randint(0, len(pool))))
+            b = sorted(rng.sample(pool, rng.randint(0, len(pool))))
+            assert _merge_knots(a, b) == sorted(set(a) | set(b))
+
+    def test_empty_and_duplicate_edges(self):
+        from repro.curves.operations import _merge_knots
+
+        assert _merge_knots([], []) == []
+        assert _merge_knots([1.0], []) == [1.0]
+        assert _merge_knots([], [2.0]) == [2.0]
+        assert _merge_knots([1.0, 2.0], [1.0, 2.0]) == [1.0, 2.0]
+        # -0.0 == 0.0: collapses exactly like the set did
+        assert _merge_knots([-0.0], [0.0]) == sorted({-0.0} | {0.0})

@@ -1,0 +1,214 @@
+"""DeltaAnalyzer: incremental bounds == cold bounds, bit for bit."""
+
+import random
+
+import pytest
+
+from repro.configs.random_topology import random_network
+from repro.incremental import DeltaAnalyzer
+from repro.incremental.edits import (
+    AddVL,
+    RemoveVL,
+    RerouteVL,
+    ResizeVL,
+    RetimeVL,
+    apply_edits,
+)
+from repro.netcalc.analyzer import analyze_network_calculus
+from repro.trajectory.analyzer import analyze_trajectory
+
+
+def _cold(network):
+    return analyze_network_calculus(network), analyze_trajectory(network)
+
+
+def _random_edit(rng, network, removed):
+    """One valid, load-non-increasing edit against the current network."""
+    live = sorted(network.virtual_links)
+    ops = ["retime", "resize", "reroute"]
+    if removed:
+        ops.append("add")
+    if len(live) > 2:
+        ops.append("remove")
+    op = rng.choice(ops)
+    if op == "add":
+        name = rng.choice(sorted(removed))
+        return AddVL(vl=removed.pop(name))
+    name = rng.choice(live)
+    vl = network.vl(name)
+    if op == "remove":
+        removed[name] = vl
+        return RemoveVL(name=name)
+    if op == "resize":
+        return ResizeVL(name=name, s_max_bytes=max(64, vl.s_max_bytes // 2))
+    if op == "reroute":
+        return RerouteVL(name=name, paths=vl.paths[:1])
+    return RetimeVL(name=name, bag_ms=vl.bag_ms * 2)
+
+
+class TestEquivalence:
+    """The acceptance gate: incremental results are exact, not approximate."""
+
+    def test_randomized_edit_sequence_matches_cold(self):
+        rng = random.Random(20260805)
+        network = random_network(17, n_switches=3, n_end_systems=6, n_virtual_links=10)
+        engine = DeltaAnalyzer(network)
+        engine.analyze_base()
+        removed = {}
+        for _ in range(8):
+            edit = _random_edit(rng, engine.network, removed)
+            delta = engine.apply([edit])
+            nc, tr = _cold(engine.network)
+            assert delta.netcalc.ports == nc.ports
+            assert delta.netcalc.paths == nc.paths
+            assert delta.trajectory.paths == tr.paths
+            assert delta.trajectory.refinement_iterations == tr.refinement_iterations
+
+    def test_multi_edit_batch_matches_cold(self):
+        network = random_network(5, n_switches=3, n_end_systems=6, n_virtual_links=9)
+        names = sorted(network.virtual_links)
+        edits = [
+            RetimeVL(name=names[0], bag_ms=network.vl(names[0]).bag_ms * 2),
+            ResizeVL(name=names[1], s_max_bytes=64),
+            RemoveVL(name=names[2]),
+        ]
+        engine = DeltaAnalyzer(network)
+        delta = engine.apply(edits)  # analyze_base runs implicitly
+        nc, tr = _cold(engine.network)
+        assert delta.netcalc.paths == nc.paths
+        assert delta.trajectory.paths == tr.paths
+
+
+class TestChaining:
+    def test_apply_chains_onto_previous_network(self):
+        network = random_network(9, n_switches=3, n_end_systems=6, n_virtual_links=8)
+        name = sorted(network.virtual_links)[0]
+        bag = network.vl(name).bag_ms
+        engine = DeltaAnalyzer(network)
+        engine.apply([RetimeVL(name=name, bag_ms=bag * 2)])
+        engine.apply([RetimeVL(name=name, bag_ms=bag * 4)])
+        assert engine.network.vl(name).bag_ms == bag * 4
+        # the original network object is never touched
+        assert network.vl(name).bag_ms == bag
+
+    def test_analyze_base_is_idempotent(self):
+        network = random_network(9, n_switches=3, n_end_systems=6, n_virtual_links=8)
+        engine = DeltaAnalyzer(network)
+        first = engine.analyze_base()
+        assert engine.analyze_base() is first
+
+
+class TestChangeReporting:
+    @pytest.fixture()
+    def network(self):
+        return random_network(13, n_switches=3, n_end_systems=6, n_virtual_links=8)
+
+    def test_retime_reports_changed_kind(self, network):
+        name = sorted(network.virtual_links)[0]
+        engine = DeltaAnalyzer(network)
+        delta = engine.apply(
+            [RetimeVL(name=name, bag_ms=network.vl(name).bag_ms * 2)]
+        )
+        assert delta.changed  # a slower BAG relaxes some bound somewhere
+        kinds = {change.kind for change in delta.changed.values()}
+        assert kinds == {"changed"}
+
+    def test_remove_reports_removed_paths(self, network):
+        name = sorted(network.virtual_links)[0]
+        engine = DeltaAnalyzer(network)
+        delta = engine.apply([RemoveVL(name=name)])
+        removed = [c for c in delta.changed.values() if c.kind == "removed"]
+        assert len(removed) == len(network.vl(name).paths)
+        assert all(c.flow[0] == name for c in removed)
+        assert all(c.nc_after_us is None for c in removed)
+
+    def test_add_reports_added_paths(self, network):
+        name = sorted(network.virtual_links)[0]
+        vl = network.vl(name)
+        base, _ = apply_edits(network, [RemoveVL(name=name)])
+        engine = DeltaAnalyzer(base)
+        delta = engine.apply([AddVL(vl=vl)])
+        added = [c for c in delta.changed.values() if c.kind == "added"]
+        assert {c.flow for c in added} >= {(name, i) for i in range(len(vl.paths))}
+        assert all(c.nc_before_us is None for c in added)
+
+    def test_dirty_region_recorded_in_stats(self, network):
+        name = sorted(network.virtual_links)[0]
+        engine = DeltaAnalyzer(network)
+        delta = engine.apply(
+            [RetimeVL(name=name, bag_ms=network.vl(name).bag_ms * 2)]
+        )
+        stats = delta.stats
+        assert 0 < stats["n_dirty_ports"] <= stats["n_ports"]
+        assert 0 < stats["n_dirty_vls"] <= stats["n_vls"]
+        assert delta.dirty_ports and delta.dirty_vl_names
+        assert name in delta.dirty_vl_names
+
+
+class TestCacheSharing:
+    def test_warm_repeat_is_served_from_the_result_tier(self):
+        network = random_network(21, n_switches=3, n_end_systems=6, n_virtual_links=8)
+        name = sorted(network.virtual_links)[0]
+        edit = RetimeVL(name=name, bag_ms=network.vl(name).bag_ms * 2)
+        engine = DeltaAnalyzer(network)
+        engine.analyze_base()
+        first = engine.apply([edit])
+
+        repeat = DeltaAnalyzer(network, cache=engine.cache)
+        repeat.analyze_base()
+        second = repeat.apply([edit])
+        assert second.netcalc.paths == first.netcalc.paths
+        assert second.trajectory.paths == first.trajectory.paths
+        # the repeat round never recomputes: both analyses are whole-result hits
+        assert second.stats["cache"]["misses"] == 0
+        assert second.stats["cache"]["hits"] >= 2
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        network = random_network(23, n_switches=3, n_end_systems=6, n_virtual_links=8)
+        name = sorted(network.virtual_links)[0]
+        edit = RetimeVL(name=name, bag_ms=network.vl(name).bag_ms * 2)
+        first = DeltaAnalyzer(network, cache_dir=tmp_path)
+        warm = first.apply([edit])
+
+        # a fresh engine (fresh in-memory LRU) on the same directory
+        second = DeltaAnalyzer(network, cache_dir=tmp_path)
+        repeat = second.apply([edit])
+        assert repeat.netcalc.paths == warm.netcalc.paths
+        assert repeat.trajectory.paths == warm.trajectory.paths
+        assert repeat.stats["cache"]["misses"] == 0
+        assert second.cache.stats()["disk_hits"] > 0
+
+    def test_cache_or_cache_dir_not_both(self, tmp_path):
+        from repro.incremental.cache import BoundCache
+
+        with pytest.raises(ValueError, match="not both"):
+            DeltaAnalyzer(
+                random_network(3, n_switches=3, n_end_systems=6, n_virtual_links=4),
+                cache=BoundCache(),
+                cache_dir=tmp_path,
+            )
+
+
+class TestInsertionOrderCanonicalization:
+    """Remove + re-add restores a *set-equal* network whose dicts/sets
+    have a different insertion history.  The result-tier cache treats it
+    as identical (sorted fingerprints), so the analyzers must be
+    insertion-order-insensitive down to float-summation order — the
+    regression here was ``port_utilization`` summing rates in frozenset
+    iteration order, which varies with insertion history under hash
+    seeds that collide."""
+
+    def test_readded_network_analyzes_bit_identical_to_base(self):
+        network = random_network(30, n_switches=3, n_end_systems=6,
+                                 n_virtual_links=10)
+        name = sorted(network.virtual_links)[3]
+        vl = network.vl(name)
+        removed, _ = apply_edits(network, [RemoveVL(name=name)])
+        restored, _ = apply_edits(removed, [AddVL(vl=vl)])
+        base_nc, base_tr = _cold(network)
+        re_nc, re_tr = _cold(restored)
+        assert re_nc.ports == base_nc.ports
+        assert re_nc.paths == base_nc.paths
+        assert re_tr.paths == base_tr.paths
+        for port in network.used_ports():
+            assert network.port_utilization(port) == restored.port_utilization(port)

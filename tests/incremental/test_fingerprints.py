@@ -1,0 +1,96 @@
+"""Fingerprints: stability, sensitivity, and the Merkle dirty property."""
+
+import subprocess
+import sys
+
+from repro.configs.random_topology import random_network
+from repro.incremental.delta import dirty_closure
+from repro.incremental.edits import RetimeVL, apply_edits
+from repro.incremental.fingerprint import (
+    netcalc_port_fingerprints,
+    network_fingerprint,
+    pack_floats,
+    stable_digest,
+    vl_fingerprint,
+)
+
+
+class TestStableDigest:
+    def test_deterministic(self):
+        assert stable_digest("a", 1.5, ("x", 2)) == stable_digest("a", 1.5, ("x", 2))
+
+    def test_type_sensitive(self):
+        # "1.0" the string and 1.0 the float must not collide
+        assert stable_digest("1.0") != stable_digest(1.0)
+
+    def test_float_exactness(self):
+        assert stable_digest(0.1 + 0.2) != stable_digest(0.3)
+
+    def test_structure_sensitive(self):
+        assert stable_digest(("a", "b"), "c") != stable_digest(("a",), ("b", "c"))
+
+    def test_hash_seed_independence(self):
+        # digests must agree across interpreters with different hash seeds
+        code = (
+            "from repro.incremental.fingerprint import stable_digest;"
+            "print(stable_digest('x', 1.25, ('y', 3)))"
+        )
+        outs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("0", "12345")
+        }
+        assert len(outs) == 1
+
+    def test_pack_floats_is_lossless(self):
+        values = [0.1 + 0.2, 1e-308, -0.0, 3.5]
+        assert pack_floats(values) == pack_floats(list(values))
+        assert pack_floats([0.3]) != pack_floats([0.1 + 0.2])
+
+
+class TestNetworkFingerprints:
+    def setup_method(self):
+        self.network = random_network(
+            11, n_switches=3, n_end_systems=6, n_virtual_links=8
+        )
+
+    def test_copy_has_same_fingerprint(self):
+        assert network_fingerprint(self.network) == network_fingerprint(
+            self.network.copy()
+        )
+
+    def test_edit_changes_network_fingerprint(self):
+        name = sorted(self.network.virtual_links)[0]
+        edited, _ = apply_edits(
+            self.network, [RetimeVL(name=name, bag_ms=self.network.vl(name).bag_ms * 2)]
+        )
+        assert network_fingerprint(edited) != network_fingerprint(self.network)
+
+    def test_vl_fingerprint_sensitivity(self):
+        name = sorted(self.network.virtual_links)[0]
+        vl = self.network.vl(name)
+        assert vl_fingerprint(vl) == vl_fingerprint(vl)
+        assert vl_fingerprint(vl.with_bag_ms(vl.bag_ms * 2)) != vl_fingerprint(vl)
+        assert vl_fingerprint(vl.with_s_max_bytes(65)) != vl_fingerprint(vl)
+
+    def test_merkle_port_fingerprints_dirty_exactly_the_closure(self):
+        """The content-addressed and closure views of dirtiness agree.
+
+        A port's NC fingerprint changes iff the port is in the
+        downstream closure of the edit — the Merkle fold over upstream
+        digests IS the closure computation, done by hashing.
+        """
+        name = sorted(self.network.virtual_links)[0]
+        edited, impact = apply_edits(
+            self.network, [RetimeVL(name=name, bag_ms=self.network.vl(name).bag_ms * 2)]
+        )
+        before = netcalc_port_fingerprints(self.network, True, 0.0)
+        after = netcalc_port_fingerprints(edited, True, 0.0)
+        assert set(before) == set(after)  # same used ports
+        changed = {pid for pid in before if before[pid] != after[pid]}
+        assert changed == set(dirty_closure(edited, impact.dirty_ports))

@@ -244,3 +244,58 @@ def test_malformed_json_exits_with_config_code(tmp_path, capsys):
     path.write_text("not json")
     assert main(["analyze", str(path)]) == EXIT_CONFIG_ERROR
     assert "malformed JSON" in capsys.readouterr().err
+
+
+def test_analyze_profile_dumps_pstats(fig2_json, tmp_path, capsys):
+    import pstats
+
+    prof = tmp_path / "analyze.pstats"
+    assert main(["analyze", fig2_json, "--profile", str(prof)]) == 0
+    err = capsys.readouterr().err
+    assert "profile written to" in err
+    stats = pstats.Stats(str(prof))
+    assert stats.total_calls > 0
+    names = {func for (_, _, func) in stats.stats}
+    assert "analyze" in names  # the analyzers themselves were profiled
+
+
+def test_analyze_profile_section_in_manifest(fig2_json, tmp_path, capsys):
+    from repro.obs import validate_manifest
+
+    prof = tmp_path / "analyze.pstats"
+    manifest_path = tmp_path / "manifest.json"
+    assert (
+        main([
+            "analyze", fig2_json,
+            "--profile", str(prof),
+            "--metrics-json", str(manifest_path),
+        ])
+        == 0
+    )
+    manifest = json.loads(manifest_path.read_text())
+    validate_manifest(manifest)
+    profile = manifest["profile"]
+    assert profile["stats_path"] == str(prof)
+    assert profile["total_calls"] > 0
+    assert profile["total_time_s"] >= 0
+    top = profile["top_cumulative"]
+    assert 0 < len(top) <= 25
+    # descending by cumulative time, entries fully populated
+    cums = [entry["cumtime_s"] for entry in top]
+    assert cums == sorted(cums, reverse=True)
+    assert all(entry["function"] and entry["ncalls"] >= 1 for entry in top)
+
+
+def test_experiment_profile_flag(tmp_path, capsys):
+    prof = tmp_path / "exp.pstats"
+    assert main(["experiment", "fig3_4", "--profile", str(prof)]) == 0
+    assert prof.exists()
+    assert "profile written to" in capsys.readouterr().err
+
+
+def test_profile_does_not_change_bounds(fig2_json, tmp_path, capsys):
+    assert main(["analyze", fig2_json]) == 0
+    plain = capsys.readouterr().out
+    assert main(["analyze", fig2_json, "--profile", str(tmp_path / "p.pstats")]) == 0
+    profiled = capsys.readouterr().out
+    assert plain == profiled

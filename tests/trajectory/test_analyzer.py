@@ -185,3 +185,23 @@ class TestMeshReMeeting:
             )
             for key, stats in observed.paths.items():
                 assert stats.max_us <= safe.paths[key].total_us + 1e-9, key
+
+
+class TestEventMemoEquivalence:
+    """The per-sweep candidate-event memo must not change any bound."""
+
+    def test_memo_off_gives_identical_results(self):
+        from repro.configs.random_topology import random_network
+
+        network = random_network(31, n_switches=3, n_end_systems=6,
+                                 n_virtual_links=10)
+        plain = TrajectoryAnalyzer(network, serialization="safe")
+        unmemoized = TrajectoryAnalyzer(network, serialization="safe")
+        unmemoized._event_memo_enabled = False  # test hook
+        with_memo = plain.analyze()
+        without_memo = unmemoized.analyze()
+        assert with_memo.paths == without_memo.paths
+        assert with_memo.refinement_iterations == without_memo.refinement_iterations
+        hits, misses = plain._cache_counters["events"]
+        assert hits > 0  # the memo actually engaged on this topology
+        assert unmemoized._cache_counters["events"] == [0, 0]
