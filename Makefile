@@ -5,7 +5,8 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench bench-batch bench-scaling bench-incremental
+.PHONY: check test bench bench-batch bench-scaling bench-incremental \
+	bench-explain bench-gate bench-baselines
 
 check:
 	sh scripts/check.sh
@@ -30,3 +31,16 @@ bench-scaling:
 # appends to benchmarks/results/BENCH_incremental.json.
 bench-incremental:
 	python benchmarks/bench_incremental.py
+
+# Plain analysis vs explain=True provenance overhead; appends to
+# benchmarks/results/BENCH_explain.json.
+bench-explain:
+	python benchmarks/bench_explain.py
+
+# Compare the latest BENCH_*.json records against the committed
+# baselines (advisory; `--strict` in CI to make regressions fatal).
+bench-gate:
+	python scripts/bench_gate.py
+
+bench-baselines:
+	python scripts/bench_gate.py --update-baselines

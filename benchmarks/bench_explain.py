@@ -1,0 +1,117 @@
+"""Provenance-recording overhead: plain analysis vs ``explain=True``.
+
+Standalone script (not a pytest-benchmark module): it analyzes an
+industrial configuration twice —
+
+* **plain** — the combined run every other benchmark times
+  (``explain=False``: the default, allocation-free path);
+* **explained** — the same run with per-path provenance ledgers
+  attached (what ``afdx explain`` executes), including the cross-method
+  attribution pass.
+
+Before the record is appended the script asserts that the explained
+bounds are *bit-identical* to the plain ones (recording must never
+perturb the analysis) and that every ledger conserves — the tentpole
+invariants, timed at scale.
+
+Appends to ``benchmarks/results/BENCH_explain.json``.
+
+Usage::
+
+    make bench-explain
+    python benchmarks/bench_explain.py [--vls N] [--runs N]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.configs.industrial import (  # noqa: E402
+    IndustrialConfigSpec,
+    industrial_network,
+)
+from repro.explain import explain_network  # noqa: E402
+from repro.netcalc.analyzer import analyze_network_calculus  # noqa: E402
+from repro.trajectory.analyzer import analyze_trajectory  # noqa: E402
+
+RESULTS_PATH = REPO / "benchmarks" / "results" / "BENCH_explain.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--vls", type=int, default=100)
+    parser.add_argument("--runs", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    network = industrial_network(IndustrialConfigSpec(n_virtual_links=args.vls))
+
+    best_plain = None
+    plain_nc = plain_tr = None
+    for _ in range(args.runs):
+        start = time.perf_counter()
+        plain_nc = analyze_network_calculus(network)
+        plain_tr = analyze_trajectory(network)
+        elapsed = time.perf_counter() - start
+        best_plain = elapsed if best_plain is None else min(best_plain, elapsed)
+
+    best_explained = None
+    explanation = None
+    for _ in range(args.runs):
+        start = time.perf_counter()
+        explanation = explain_network(network)
+        elapsed = time.perf_counter() - start
+        best_explained = (
+            elapsed if best_explained is None else min(best_explained, elapsed)
+        )
+
+    # Recording must not perturb the analysis: bit-identical bounds.
+    assert set(plain_nc.paths) == set(explanation.netcalc.paths)
+    for key in plain_nc.paths:
+        assert (
+            plain_nc.paths[key].total_us == explanation.netcalc.paths[key].total_us
+        ), key
+        assert (
+            plain_tr.paths[key].total_us == explanation.trajectory.paths[key].total_us
+        ), key
+    assert explanation.summary.conservation_failures == 0
+
+    record = {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S+0000"),
+        "n_virtual_links": args.vls,
+        "n_paths": len(plain_nc.paths),
+        "cpu_count": os.cpu_count(),
+        "runs": args.runs,
+        "plain_s": round(best_plain, 4),
+        "explained_s": round(best_explained, 4),
+        "overhead_ratio": round(best_explained / best_plain, 3),
+        "max_abs_residual_us": explanation.summary.max_abs_residual_us,
+        "bit_identical": True,
+        "conserved": True,
+    }
+
+    history = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    history.append(record)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(
+        f"industrial({args.vls} VLs, {record['n_paths']} paths) on "
+        f"{record['cpu_count']} CPU(s): plain {best_plain:.3f}s, "
+        f"explained {best_explained:.3f}s "
+        f"({record['overhead_ratio']:.2f}x, bit-identical, all ledgers "
+        f"conserve) -> {RESULTS_PATH.relative_to(REPO)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate over ``benchmarks/results/BENCH_*.json``.
+
+Each ``BENCH_*.json`` is an append-only list of run records (one per
+``make bench-*`` invocation).  This gate flattens the *latest* record of
+every file into ``key: seconds`` timing samples and compares them
+against the committed ``benchmarks/baselines.json``:
+
+* numeric leaves whose key ends in ``_s`` (seconds) or ``_ms``
+  (milliseconds, converted to seconds) are timing samples; everything
+  else (counts, speedups, flags) is ignored;
+* nested dicts flatten with ``.`` joins; list elements are addressed by
+  the first discriminator key they carry (``name``, ``id``, ``bench``,
+  ``n_virtual_links``, ``configs``, ``label``) so the flat key is stable
+  across re-runs, falling back to the positional index;
+* a sample regresses when ``latest > baseline * (1 + tolerance)``
+  (default ±30%) *and* both sides exceed the noise floor
+  (``--min-seconds``, default 0.01 s) — micro-timings are all jitter;
+* statuses: ``ok`` / ``faster`` / ``slower`` (regression) / ``new``
+  (no baseline) / ``missing`` (baselined key absent from the latest
+  record, e.g. after a bench rewrite).
+
+The gate is advisory by default (always exits 0, prints the table) so a
+noisy CI machine cannot block a merge; ``--strict`` makes ``slower``
+samples fatal.  ``--update-baselines`` rewrites ``baselines.json`` from
+the latest records.
+
+Usage::
+
+    python scripts/bench_gate.py [--strict] [--tolerance 0.30]
+    python scripts/bench_gate.py --update-baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO / "benchmarks" / "results"
+BASELINES_PATH = REPO / "benchmarks" / "baselines.json"
+
+#: keys that identify a list element better than its position
+DISCRIMINATORS = ("name", "id", "bench", "n_virtual_links", "configs", "label")
+
+TIMING_SUFFIXES = ("_s", "_ms")
+
+
+def _element_tag(index: int, element: object) -> str:
+    if isinstance(element, dict):
+        for key in DISCRIMINATORS:
+            if key in element and isinstance(element[key], (str, int, float)):
+                return f"[{key}={element[key]}]"
+    return f"[{index}]"
+
+
+def _is_timing_key(key: str) -> bool:
+    return key.endswith(TIMING_SUFFIXES)
+
+
+def _to_seconds(key: str, value: float) -> float:
+    return value / 1000.0 if key.endswith("_ms") else float(value)
+
+
+def flatten_timings(record: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(flat_key, seconds)`` for every timing leaf of ``record``."""
+    if isinstance(record, dict):
+        for key, value in record.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                yield from flatten_timings(value, path)
+            elif (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and _is_timing_key(str(key))
+            ):
+                yield path, _to_seconds(str(key), value)
+    elif isinstance(record, list):
+        for index, element in enumerate(record):
+            yield from flatten_timings(element, prefix + _element_tag(index, element))
+
+
+def latest_timings(results_dir: Path) -> Dict[str, Dict[str, float]]:
+    """``{file_name: {flat_key: seconds}}`` from each file's newest record."""
+    out: Dict[str, Dict[str, float]] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"bench-gate: warning: cannot read {path.name}: {exc}", file=sys.stderr)
+            continue
+        record = doc[-1] if isinstance(doc, list) and doc else doc
+        timings = dict(flatten_timings(record))
+        if timings:
+            out[path.name] = timings
+    return out
+
+
+def compare(
+    latest: Dict[str, Dict[str, float]],
+    baselines: Dict[str, Dict[str, float]],
+    tolerance: float,
+    min_seconds: float,
+) -> List[Tuple[str, str, str, float, float]]:
+    """``(file, key, status, baseline_s, latest_s)`` rows, sorted."""
+    rows: List[Tuple[str, str, str, float, float]] = []
+    for fname in sorted(set(latest) | set(baselines)):
+        now = latest.get(fname, {})
+        base = baselines.get(fname, {})
+        for key in sorted(set(now) | set(base)):
+            if key not in base:
+                rows.append((fname, key, "new", float("nan"), now[key]))
+            elif key not in now:
+                rows.append((fname, key, "missing", base[key], float("nan")))
+            else:
+                b, n = base[key], now[key]
+                if b < min_seconds and n < min_seconds:
+                    status = "ok"  # both below the noise floor
+                elif n > b * (1.0 + tolerance):
+                    status = "slower"
+                elif n < b * (1.0 - tolerance):
+                    status = "faster"
+                else:
+                    status = "ok"
+                rows.append((fname, key, status, b, n))
+    return rows
+
+
+def _fmt(value: float) -> str:
+    return "-" if value != value else f"{value:10.4f}"  # NaN check
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30, metavar="FRAC",
+        help="allowed slowdown fraction before a sample regresses (default 0.30)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.01, metavar="S",
+        help="noise floor: samples where both sides are below S are always ok",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any sample is slower (default: advisory)",
+    )
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="rewrite benchmarks/baselines.json from the latest records",
+    )
+    parser.add_argument(
+        "--results-dir", type=Path, default=RESULTS_DIR, help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=BASELINES_PATH, help=argparse.SUPPRESS
+    )
+    args = parser.parse_args(argv)
+
+    latest = latest_timings(args.results_dir)
+    if args.update_baselines:
+        args.baselines.write_text(
+            json.dumps(latest, indent=2, sort_keys=True) + "\n"
+        )
+        n = sum(len(v) for v in latest.values())
+        print(f"bench-gate: wrote {n} baseline timings to {args.baselines}")
+        return 0
+
+    if not args.baselines.exists():
+        print(
+            "bench-gate: no baselines committed "
+            f"({args.baselines}); run with --update-baselines first",
+        )
+        return 0
+    baselines = json.loads(args.baselines.read_text())
+
+    rows = compare(latest, baselines, args.tolerance, args.min_seconds)
+    counts: Dict[str, int] = {}
+    width = max((len(f"{f}:{k}") for f, k, *_ in rows), default=20)
+    for fname, key, status, base, now in rows:
+        counts[status] = counts.get(status, 0) + 1
+        if status != "ok":
+            ratio = (
+                f" ({now / base:5.2f}x)"
+                if base == base and now == now and base > 0
+                else ""
+            )
+            print(
+                f"{status:>8}  {f'{fname}:{key}':<{width}}  "
+                f"base {_fmt(base)} s  now {_fmt(now)} s{ratio}"
+            )
+    summary = ", ".join(f"{counts.get(s, 0)} {s}" for s in ("ok", "faster", "slower", "new", "missing"))
+    print(f"bench-gate: {summary} (tolerance ±{args.tolerance:.0%})")
+    if counts.get("slower"):
+        if args.strict:
+            print("bench-gate: FAIL (--strict and regressions present)")
+            return 1
+        print("bench-gate: advisory only; pass --strict to fail on regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,4 +26,7 @@ python -m pytest -x -q \
 echo "== incremental equivalence (30-edit replay vs cold, jobs=2, warm cache dir) =="
 python scripts/incremental_gate.py
 
+echo "== bench-regression gate (advisory; ±30% vs benchmarks/baselines.json) =="
+python scripts/bench_gate.py
+
 echo "check OK"

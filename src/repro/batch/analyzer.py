@@ -209,6 +209,12 @@ class BatchAnalyzer:
         workers, each process opens its own cache on ``cache_dir``
         (persistence makes them share entries); results stay
         bit-identical for any ``jobs``.
+    explain:
+        Attach bound provenance ledgers (:mod:`repro.explain`) to the
+        results.  The provenance replay always runs on the coordinator
+        — workers only ever compute bounds — and the ledgers are
+        identical for any ``jobs`` because the bounds they decompose
+        are.
     """
 
     def __init__(
@@ -224,6 +230,7 @@ class BatchAnalyzer:
         progress=None,
         incremental: bool = False,
         cache_dir: Optional[str] = None,
+        explain: bool = False,
     ) -> None:
         self.network = network
         self.jobs = resolve_jobs(jobs)
@@ -232,6 +239,7 @@ class BatchAnalyzer:
         self.serialization = serialization
         self.refine_smax = refine_smax
         self.max_refinements = max_refinements
+        self.explain = explain
         self.collect_stats = collect_stats
         self._progress = progress
         self.incremental = incremental or cache_dir is not None
@@ -257,6 +265,7 @@ class BatchAnalyzer:
                 progress=self._progress,
                 incremental=self.incremental,
                 cache=self._cache,
+                explain=self.explain,
             )
         network = self.network
         obs = Instrumentation.create(self.collect_stats, self._progress)
@@ -320,6 +329,9 @@ class BatchAnalyzer:
             result.ports[port_id] = analyses[port_id]
         port_delay = {port_id: analyses[port_id].delay_us for port_id in order}
         coordinator.finalize_paths(result, port_delay)
+        if self.explain:
+            with obs.tracer.span("batch.netcalc.explain"):
+                coordinator._attach_provenance(result)
         if obs.enabled:
             self._export_pool_stats(obs, "netcalc", stats)
             result.stats = obs.export()
@@ -347,6 +359,7 @@ class BatchAnalyzer:
                 progress=self._progress,
                 incremental=self.incremental,
                 cache=self._cache,
+                explain=self.explain,
             )
         network = self.network
         obs = Instrumentation.create(self.collect_stats, self._progress)
@@ -378,6 +391,10 @@ class BatchAnalyzer:
         ):
             with WorkerPool(self.jobs, payload) as pool:
                 for _ in range(self.max_refinements):
+                    if self.explain:
+                        # the map this round's workers sweep with: the
+                        # seed plus every tightening broadcast so far
+                        coordinator._explain_smax = coordinator.smax_snapshot()
                     tasks = [(chunk, dict(cumulative)) for chunk in chunks]
                     bounds = {}
                     for chunk_bounds, cache_stats, pid, busy in pool.map(
@@ -400,6 +417,10 @@ class BatchAnalyzer:
         stats.wall_s = time.perf_counter() - started
 
         result = coordinator.build_result(bounds, sweeps)
+        if self.explain:
+            coordinator._explain_bounds = bounds
+            with obs.tracer.span("batch.trajectory.explain"):
+                coordinator._attach_provenance(result)
         if obs.enabled:
             obs.metrics.counter("trajectory.sweeps", sweeps)
             for name, (hits, misses) in sorted(stats.merged_cache_stats().items()):
@@ -427,6 +448,7 @@ class BatchAnalyzer:
                 refine_smax=self.refine_smax,
                 collect_stats=self.collect_stats,
                 progress=self._progress,
+                explain=self.explain,
             )
         nc_result = self.network_calculus()
         # the sequential path seeds Smax from a grouping=True NC run;

@@ -24,25 +24,39 @@ Subcommands
     retime / resize / re-route VLs) and re-analyze only the dirty
     region, printing the paths whose bounds changed (see
     ``docs/INCREMENTAL.md``).
+``afdx explain CONFIG.json``
+    Bound provenance: decompose every path's WCNC and Trajectory bound
+    into named additive terms (conservation-checked bit for bit) and
+    attribute the per-path gap between the methods to its dominant
+    mechanism (see ``docs/OBSERVABILITY.md``).
 
-``analyze``, ``experiment`` and ``batch-sweep`` accept ``--jobs N`` to
-fan the analysis across N worker processes (``repro.batch``); results
-are bit-identical to the sequential ``--jobs 1`` default.
-``analyze``, ``batch-sweep`` and ``whatif`` accept ``--cache-dir DIR``
-to persist the content-addressed bound cache across invocations;
-``analyze`` and ``experiment`` accept ``--profile PATH`` to dump
-cProfile stats (top cumulative functions land in the run manifest).
+``analyze``, ``experiment``, ``batch-sweep`` and ``explain`` accept
+``--jobs N`` to fan the analysis across N worker processes
+(``repro.batch``); results are bit-identical to the sequential
+``--jobs 1`` default.  ``analyze``, ``batch-sweep``, ``whatif`` and
+``explain`` accept ``--cache-dir DIR`` to persist the
+content-addressed bound cache across invocations.
 
 Observability (every subcommand)
 --------------------------------
+
+All subcommands share the observability flag group — registered once
+in :func:`_obs_parent` so a new subcommand cannot ship without it
+(``tests/test_cli.py`` enforces this over :data:`OBS_FLAG_DESTS`):
 
 ``--log-level LEVEL``
     Enable the ``repro`` logger hierarchy on stderr.
 ``--metrics-json PATH``
     Collect analyzer stats and write a run manifest (see
     ``docs/OBSERVABILITY.md`` for the schema).
+``--metrics-prom PATH``
+    Write the run's counters/gauges/timers as a Prometheus textfile
+    (node-exporter textfile collector format).
 ``--progress``
     Live per-phase progress on stderr for long industrial runs.
+``--profile PATH``
+    Dump cProfile stats of the whole command (top cumulative functions
+    land in the run manifest).
 
 Exit codes
 ----------
@@ -90,6 +104,7 @@ from repro.trajectory.timing import seed_smax_from_netcalc
 __all__ = [
     "main",
     "build_parser",
+    "OBS_FLAG_DESTS",
     "EXIT_OK",
     "EXIT_FAILURE",
     "EXIT_CONFIG_ERROR",
@@ -104,9 +119,26 @@ EXIT_CONFIG_ERROR = 3
 EXIT_UNSTABLE = 4
 EXIT_ANALYSIS_ERROR = 5
 
+#: argparse dests of the shared observability flag group.  Every
+#: subcommand inherits them through :func:`_obs_parent`, and
+#: ``tests/test_cli.py`` asserts the invariant over all subparsers.
+OBS_FLAG_DESTS = (
+    "log_level",
+    "metrics_json",
+    "metrics_prom",
+    "progress",
+    "profile",
+)
 
-def build_parser() -> argparse.ArgumentParser:
-    """The ``afdx`` argument parser (exposed for testing)."""
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """The shared observability flag group, as an argparse parent.
+
+    Registered in exactly one place so a new subcommand cannot ship
+    without the standard flags: pass ``parents=[_obs_parent()]`` (as
+    every ``sub.add_parser`` call in :func:`build_parser` does) and the
+    whole group comes along.
+    """
     obs = argparse.ArgumentParser(add_help=False)
     group = obs.add_argument_group("observability")
     group.add_argument(
@@ -122,10 +154,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect run statistics and write a JSON run manifest",
     )
     group.add_argument(
+        "--metrics-prom",
+        default=None,
+        metavar="PATH",
+        help="write run metrics as a Prometheus textfile "
+        "(node-exporter textfile collector format)",
+    )
+    group.add_argument(
         "--progress",
         action="store_true",
         help="print per-phase progress to stderr during long runs",
     )
+    group.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="dump cProfile stats to PATH (top cumulative functions are "
+        "recorded in the --metrics-json manifest)",
+    )
+    return obs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``afdx`` argument parser (exposed for testing)."""
+    obs = _obs_parent()
 
     parser = argparse.ArgumentParser(
         prog="afdx",
@@ -163,11 +215,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="persist the content-addressed bound cache in DIR "
         "(bit-identical results, repeat runs reuse cached per-port work)",
-    )
-    analyze.add_argument(
-        "--profile", default=None, metavar="PATH",
-        help="dump cProfile stats to PATH (top cumulative functions are "
-        "recorded in the --metrics-json manifest)",
     )
 
     validate = sub.add_parser("validate", parents=[obs], help="check a configuration")
@@ -221,11 +268,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the industrial-config experiments "
         "(table1, fig5, fig6); bit-identical for any N",
-    )
-    experiment.add_argument(
-        "--profile", default=None, metavar="PATH",
-        help="dump cProfile stats to PATH (top cumulative functions are "
-        "recorded in the --metrics-json manifest)",
     )
 
     sweep = sub.add_parser(
@@ -285,6 +327,52 @@ def build_parser() -> argparse.ArgumentParser:
         "same base configuration skip the cold run's recomputation",
     )
 
+    explain = sub.add_parser(
+        "explain", parents=[obs],
+        help="decompose every bound into additive terms and attribute "
+        "the per-path gap between the two methods",
+    )
+    explain.add_argument("config", help="configuration JSON file")
+    explain.add_argument(
+        "--vl", default=None, metavar="NAME",
+        help="detail only the paths of this VL",
+    )
+    explain.add_argument(
+        "--path", type=int, default=None, metavar="K",
+        help="detail only path index K (usually with --vl)",
+    )
+    explain.add_argument(
+        "--format", choices=["text", "json", "html"], default="text",
+        help="output format (default: text)",
+    )
+    explain.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="detail only the N paths with the largest |gap| "
+        "(the summary always covers every path)",
+    )
+    explain.add_argument(
+        "--no-grouping", action="store_true", help="disable NC grouping"
+    )
+    explain.add_argument(
+        "--serialization",
+        choices=["paper", "windowed", "safe"],
+        default="windowed",
+        help="Trajectory serialization mode (default: windowed)",
+    )
+    explain.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = sequential, 0 = all cores); "
+        "output is byte-identical for any N",
+    )
+    explain.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the bound cache in DIR (provenance is always "
+        "recomputed, never served stale; output is byte-identical)",
+    )
+    explain.add_argument(
+        "-o", "--output", default=None, help="write the report to a file"
+    )
+
     return parser
 
 
@@ -305,7 +393,8 @@ class _RunContext:
 
     def __init__(self, args: argparse.Namespace) -> None:
         self.metrics_path: Optional[str] = getattr(args, "metrics_json", None)
-        self.collect = self.metrics_path is not None
+        self.prom_path: Optional[str] = getattr(args, "metrics_prom", None)
+        self.collect = self.metrics_path is not None or self.prom_path is not None
         self.metrics = MetricsRegistry(enabled=self.collect)
         self.progress = (
             ProgressHook(_print_progress) if getattr(args, "progress", False) else None
@@ -324,7 +413,9 @@ class _RunContext:
 
 
 #: argparse attributes that are not analyzer/command options.
-_NON_OPTION_ARGS = {"command", "log_level", "metrics_json", "progress"}
+#: Derived from OBS_FLAG_DESTS so a flag added to the shared group is
+#: automatically excluded from the manifest's ``options`` section.
+_NON_OPTION_ARGS = frozenset(("command",) + OBS_FLAG_DESTS)
 
 
 def _manifest_options(args: argparse.Namespace) -> Dict[str, object]:
@@ -542,6 +633,54 @@ def _cmd_whatif(args: argparse.Namespace, ctx: _RunContext) -> int:
     return EXIT_OK
 
 
+def _cmd_explain(args: argparse.Namespace, ctx: _RunContext) -> int:
+    from pathlib import Path
+
+    from repro.explain import explain_network, render_explanation
+
+    network = network_from_json(args.config)
+    ctx.set_config(network, source=args.config)
+    explanation = explain_network(
+        network,
+        grouping=not args.no_grouping,
+        serialization=args.serialization,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        collect_stats=ctx.collect,
+        progress=ctx.progress,
+    )
+    text = render_explanation(
+        explanation,
+        fmt=args.format,
+        vl=args.vl,
+        path=args.path,
+        top=args.top,
+    )
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"explanation written to {args.output}")
+    else:
+        print(text, end="")
+    summary = explanation.summary
+    if ctx.collect:
+        ctx.analyzers = {
+            "network_calculus": explanation.netcalc.stats,
+            "trajectory": explanation.trajectory.stats,
+        }
+        ctx.bounds = bound_summary(explanation.comparison)
+        ctx.metrics.gauge("explain.paths", summary.n_paths)
+        ctx.metrics.gauge("explain.nc_wins", summary.nc_wins)
+        ctx.metrics.gauge("explain.trajectory_wins", summary.trajectory_wins)
+        ctx.metrics.gauge("explain.ties", summary.ties)
+        ctx.metrics.gauge(
+            "explain.conservation_failures", summary.conservation_failures
+        )
+        ctx.metrics.gauge(
+            "explain.max_abs_residual_us", summary.max_abs_residual_us
+        )
+    return EXIT_OK if summary.conservation_failures == 0 else EXIT_FAILURE
+
+
 def _cmd_report(args: argparse.Namespace, ctx: _RunContext) -> int:
     from pathlib import Path
 
@@ -572,6 +711,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "batch-sweep": _cmd_batch_sweep,
     "whatif": _cmd_whatif,
+    "explain": _cmd_explain,
 }
 
 
@@ -655,6 +795,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"afdx: error: cannot write manifest: {exc}", file=sys.stderr)
             return code if code != EXIT_OK else EXIT_FAILURE
         print(f"(run manifest written to {ctx.metrics_path})", file=sys.stderr)
+    if ctx.prom_path is not None:
+        from repro.obs import registry_samples, write_prometheus
+
+        samples = registry_samples(
+            ctx.metrics.to_dict(), labels={"command": args.command}
+        )
+        for name, stats in sorted(ctx.analyzers.items()):
+            if stats:
+                samples.extend(
+                    registry_samples(
+                        stats,
+                        labels={"command": args.command, "analyzer": name},
+                    )
+                )
+        try:
+            write_prometheus(ctx.prom_path, samples)
+        except OSError as exc:
+            print(
+                f"afdx: error: cannot write prometheus file: {exc}",
+                file=sys.stderr,
+            )
+            return code if code != EXIT_OK else EXIT_FAILURE
+        print(
+            f"(prometheus metrics written to {ctx.prom_path})", file=sys.stderr
+        )
     return code
 
 

@@ -62,6 +62,7 @@ def analyze_network(
     trajectory_result: Optional[TrajectoryResult] = None,
     collect_stats: bool = False,
     progress=None,
+    explain: bool = False,
 ) -> AnalysisResult:
     """Run both methods on ``network`` and combine them per path.
 
@@ -77,10 +78,18 @@ def analyze_network(
         Observability hooks forwarded to both analyzers (see
         :mod:`repro.obs`); the collected snapshots live on the
         per-method results' ``stats`` fields.
+    explain:
+        Attach bound provenance ledgers to both per-method results
+        (see :mod:`repro.explain`); bounds are bit-identical either
+        way.  Ignored for a method whose result was passed in.
     """
     if nc_result is None:
         nc_result = analyze_network_calculus(
-            network, grouping=grouping, collect_stats=collect_stats, progress=progress
+            network,
+            grouping=grouping,
+            collect_stats=collect_stats,
+            progress=progress,
+            explain=explain,
         )
     if trajectory_result is None:
         trajectory_result = analyze_trajectory(
@@ -89,5 +98,6 @@ def analyze_network(
             refine_smax=refine_smax,
             collect_stats=collect_stats,
             progress=progress,
+            explain=explain,
         )
     return build_comparison(nc_result, trajectory_result)

@@ -21,6 +21,7 @@ __all__ = [
     "CyclicRoutingError",
     "UnstableNetworkError",
     "ConvergenceError",
+    "ProvenanceError",
 ]
 
 
@@ -71,3 +72,13 @@ class UnstableNetworkError(AnalysisError):
 
 class ConvergenceError(AnalysisError):
     """An iterative fixed point failed to converge within its budget."""
+
+
+class ProvenanceError(AnalysisError):
+    """A bound decomposition failed its conservation invariant.
+
+    Raised when the sum of a decomposition's terms does not reproduce
+    the reported bound bit-exactly, or when a provenance replay
+    disagrees with the recorded analysis — either means the explain
+    layer and the analyzer have drifted apart, which is a bug.
+    """

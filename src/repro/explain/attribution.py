@@ -1,0 +1,277 @@
+"""Cross-method attribution: *why* does one method win on a path?
+
+Given both ledgers of a path, the attribution expresses the signed gap
+
+    ``gap = WCNC bound - trajectory bound``
+
+(positive: the trajectory approach is tighter) as a sum of paired
+contributions — each pairing the NC term with its trajectory
+counterpart, so the number says how much that mechanism moves the gap:
+
+``burst-accumulation``
+    NC's queueing delays (ingress shaping + accumulated bursts) minus
+    the trajectory busy-period workload net of the release offset.
+    Dominates positively on most paths: burst inflation is NC's
+    pessimism source (paper Sec. V, Fig. 8).
+``counted-twice``
+    Minus the trajectory's per-transition largest-frame terms — pure
+    trajectory pessimism, so it always pushes the gap negative.  The
+    paper's Sec. V explanation of the ~9 % of paths where NC wins.
+``latency-mismatch``
+    NC service latencies minus trajectory node latencies (zero when
+    both models charge identical technological latencies).
+``grouping-credit``
+    NC's input-link grouping credit (<= 0: it helps NC).
+``serialization-gain``
+    Plus the trajectory serialization credit (> 0: it helps the
+    trajectory bound).
+``fp-residual``
+    The netted rounding micro-terms of both ledgers.
+
+The **dominant term** of a path is the largest-magnitude contribution
+whose sign matches the gap — the mechanism that actually drives the
+winner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ProvenanceError
+from repro.network.port import PortId
+from repro.obs.provenance import FP_RESIDUAL, Decomposition
+
+__all__ = [
+    "HopAlignment",
+    "PathAttribution",
+    "ExplanationSummary",
+    "attribute_paths",
+    "summarize_attributions",
+]
+
+#: Two bounds within this are a tie (matches PathComparison's epsilon).
+_TIE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class HopAlignment:
+    """Both methods' bound increment at one hop of a path."""
+
+    hop: int
+    port: PortId
+    network_calculus_us: float
+    trajectory_us: float
+
+
+@dataclass(frozen=True)
+class PathAttribution:
+    """The aligned explanation of one path's NC<->trajectory gap."""
+
+    vl_name: str
+    path_index: int
+    node_path: Tuple[str, ...]
+    network_calculus_us: float
+    trajectory_us: float
+    gap_us: float
+    winner: str  # "trajectory" | "network_calculus" | "tie"
+    contributions: Tuple[Tuple[str, float], ...]
+    dominant_term: str
+    hops: Tuple[HopAlignment, ...]
+
+    def contribution(self, name: str) -> float:
+        for label, value in self.contributions:
+            if label == name:
+                return value
+        raise KeyError(name)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "vl_name": self.vl_name,
+            "path_index": self.path_index,
+            "node_path": list(self.node_path),
+            "network_calculus_us": self.network_calculus_us,
+            "trajectory_us": self.trajectory_us,
+            "gap_us": self.gap_us,
+            "winner": self.winner,
+            "dominant_term": self.dominant_term,
+            "contributions": {label: value for label, value in self.contributions},
+            "hops": [
+                {
+                    "hop": hop.hop,
+                    "port": f"{hop.port[0]}->{hop.port[1]}",
+                    "network_calculus_us": hop.network_calculus_us,
+                    "trajectory_us": hop.trajectory_us,
+                }
+                for hop in self.hops
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ExplanationSummary:
+    """Aggregate view over every attributed path of a configuration."""
+
+    n_paths: int
+    nc_wins: int
+    trajectory_wins: int
+    ties: int
+    max_abs_residual_us: float
+    conservation_failures: int
+    dominant_on_nc_wins: Tuple[Tuple[str, int], ...]
+    dominant_on_trajectory_wins: Tuple[Tuple[str, int], ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_paths": self.n_paths,
+            "nc_wins": self.nc_wins,
+            "trajectory_wins": self.trajectory_wins,
+            "ties": self.ties,
+            "max_abs_residual_us": self.max_abs_residual_us,
+            "conservation_failures": self.conservation_failures,
+            "dominant_on_nc_wins": {k: v for k, v in self.dominant_on_nc_wins},
+            "dominant_on_trajectory_wins": {
+                k: v for k, v in self.dominant_on_trajectory_wins
+            },
+        }
+
+
+def _attribute_one(
+    nc: Decomposition, trajectory: Decomposition
+) -> PathAttribution:
+    gap = nc.bound_us - trajectory.bound_us
+    if gap > _TIE_EPS:
+        winner = "trajectory"
+    elif gap < -_TIE_EPS:
+        winner = "network_calculus"
+    else:
+        winner = "tie"
+
+    nc_queueing = nc.total("ingress-shaping", "burst-delay")
+    nc_latency = nc.total("service-latency")
+    nc_credit = nc.total("grouping-credit")
+    nc_residual = nc.total(FP_RESIDUAL)
+    traj_workload = trajectory.total("workload", "release-offset")
+    traj_transitions = trajectory.total("counted-twice")
+    traj_latency = trajectory.total("node-latency")
+    traj_gain = trajectory.total("serialization-gain")  # <= 0 in the ledger
+    traj_residual = trajectory.total(FP_RESIDUAL)
+
+    contributions = (
+        ("burst-accumulation", nc_queueing - traj_workload),
+        ("counted-twice", -traj_transitions),
+        ("latency-mismatch", nc_latency - traj_latency),
+        ("grouping-credit", nc_credit),
+        ("serialization-gain", -traj_gain),
+        (FP_RESIDUAL, nc_residual - traj_residual),
+    )
+    # the pairing is exhaustive: it must re-express the gap exactly
+    # (up to the correctly-rounded regrouping of fsum)
+    regrouped = math.fsum(value for _, value in contributions)
+    if not math.isclose(regrouped, gap, rel_tol=1e-9, abs_tol=1e-6):
+        raise ProvenanceError(
+            f"attribution of {nc.vl_name}[{nc.path_index}] regroups the gap "
+            f"to {regrouped!r}, expected {gap!r}"
+        )
+
+    dominant = "none"
+    if winner != "tie":
+        best = 0.0
+        for label, value in contributions:
+            if label == FP_RESIDUAL:
+                continue
+            if value * gap > 0 and abs(value) > best:
+                best = abs(value)
+                dominant = label
+
+    n_hops = len(nc.hop_bounds_us)
+    hops: List[HopAlignment] = []
+    ports = tuple(zip(nc.node_path, nc.node_path[1:]))
+    previous_nc = previous_traj = 0.0
+    for hop in range(n_hops):
+        nc_cum = nc.hop_bounds_us[hop]
+        traj_cum = trajectory.hop_bounds_us[hop]
+        hops.append(
+            HopAlignment(
+                hop=hop + 1,
+                port=ports[hop],
+                network_calculus_us=nc_cum - previous_nc,
+                trajectory_us=traj_cum - previous_traj,
+            )
+        )
+        previous_nc, previous_traj = nc_cum, traj_cum
+
+    return PathAttribution(
+        vl_name=nc.vl_name,
+        path_index=nc.path_index,
+        node_path=nc.node_path,
+        network_calculus_us=nc.bound_us,
+        trajectory_us=trajectory.bound_us,
+        gap_us=gap,
+        winner=winner,
+        contributions=contributions,
+        dominant_term=dominant,
+        hops=tuple(hops),
+    )
+
+
+def attribute_paths(
+    nc_provenance: Dict[Tuple[str, int], Decomposition],
+    trajectory_provenance: Dict[Tuple[str, int], Decomposition],
+) -> Dict[Tuple[str, int], PathAttribution]:
+    """Attribute every path present in both provenance maps."""
+    if set(nc_provenance) != set(trajectory_provenance):
+        raise ProvenanceError(
+            "the two provenance maps cover different VL paths"
+        )
+    return {
+        key: _attribute_one(nc_provenance[key], trajectory_provenance[key])
+        for key in sorted(nc_provenance)
+    }
+
+
+def summarize_attributions(
+    attributions: Dict[Tuple[str, int], PathAttribution],
+    decompositions: Tuple[Dict[Tuple[str, int], Decomposition], ...] = (),
+) -> ExplanationSummary:
+    """Winner counts, dominant-term histograms and residual extremes."""
+    nc_wins = trajectory_wins = ties = 0
+    nc_histogram: Dict[str, int] = {}
+    trajectory_histogram: Dict[str, int] = {}
+    for attribution in attributions.values():
+        if attribution.winner == "network_calculus":
+            nc_wins += 1
+            nc_histogram[attribution.dominant_term] = (
+                nc_histogram.get(attribution.dominant_term, 0) + 1
+            )
+        elif attribution.winner == "trajectory":
+            trajectory_wins += 1
+            trajectory_histogram[attribution.dominant_term] = (
+                trajectory_histogram.get(attribution.dominant_term, 0) + 1
+            )
+        else:
+            ties += 1
+    max_residual = 0.0
+    failures = 0
+    for provenance in decompositions:
+        for decomposition in provenance.values():
+            max_residual = max(max_residual, decomposition.max_abs_residual_us)
+            if not decomposition.conserved:
+                failures += 1
+
+    def ranked(histogram: Dict[str, int]) -> Tuple[Tuple[str, int], ...]:
+        return tuple(
+            sorted(histogram.items(), key=lambda item: (-item[1], item[0]))
+        )
+
+    return ExplanationSummary(
+        n_paths=len(attributions),
+        nc_wins=nc_wins,
+        trajectory_wins=trajectory_wins,
+        ties=ties,
+        max_abs_residual_us=max_residual,
+        conservation_failures=failures,
+        dominant_on_nc_wins=ranked(nc_histogram),
+        dominant_on_trajectory_wins=ranked(trajectory_histogram),
+    )

@@ -165,6 +165,7 @@ class DeltaAnalyzer:
         max_refinements: int = 8,
         collect_stats: bool = False,
         progress=None,
+        explain: bool = False,
     ) -> None:
         if cache is None:
             cache = BoundCache(cache_dir=cache_dir)
@@ -176,6 +177,7 @@ class DeltaAnalyzer:
         self.serialization = serialization
         self.refine_smax = refine_smax
         self.max_refinements = max_refinements
+        self.explain = explain
         self.collect_stats = collect_stats
         self.progress = progress
         self._network = network
@@ -254,6 +256,7 @@ class DeltaAnalyzer:
             progress=self.progress,
             incremental=True,
             cache=self.cache,
+            explain=self.explain,
         ).analyze()
         trajectory = TrajectoryAnalyzer(
             network,
@@ -264,6 +267,7 @@ class DeltaAnalyzer:
             progress=self.progress,
             incremental=True,
             cache=self.cache,
+            explain=self.explain,
         ).analyze()
         return netcalc, trajectory
 

@@ -76,6 +76,12 @@ class NetworkCalculusAnalyzer:
         :class:`~repro.incremental.delta.DeltaAnalyzer` across edits
         and analyzers); defaults to the process-wide cache.  Passing a
         cache implies ``incremental=True``.
+    explain:
+        Attach per-path bound provenance ledgers
+        (:func:`repro.explain.netcalc.netcalc_provenance`) to the
+        result.  The bounds themselves are bit-identical either way:
+        NC provenance is recomputed post hoc from the finished result —
+        including cache-served results, so it is never stale.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class NetworkCalculusAnalyzer:
         progress=None,
         incremental: bool = False,
         cache=None,
+        explain: bool = False,
     ):
         if frame_overhead_bytes < 0:
             raise ValueError(f"frame overhead must be >= 0, got {frame_overhead_bytes}")
@@ -94,6 +101,7 @@ class NetworkCalculusAnalyzer:
         self.grouping = grouping
         self.frame_overhead_bits = frame_overhead_bytes * 8.0
         self.incremental = incremental or cache is not None
+        self.explain = explain
         self._cache = cache
         self._fingerprints: "Dict[PortId, str] | None" = None
         self._obs = Instrumentation.create(collect_stats, progress)
@@ -274,6 +282,9 @@ class NetworkCalculusAnalyzer:
                 _LOG.debug(
                     "netcalc result cache hit %s", kv(paths=len(result.paths))
                 )
+                if self.explain:
+                    with obs.tracer.span("netcalc.explain"):
+                        self._attach_provenance(result)
                 self._result = result
                 return result
 
@@ -354,6 +365,9 @@ class NetworkCalculusAnalyzer:
                     paths=dict(result.paths),
                 ),
             )
+        if self.explain:
+            with obs.tracer.span("netcalc.explain"):
+                self._attach_provenance(result)
         if collect:
             obs.metrics.counter("netcalc.paths_bound", len(result.paths))
             result.stats = obs.export()
@@ -365,6 +379,15 @@ class NetworkCalculusAnalyzer:
         self._result = result
         return result
 
+    def _attach_provenance(self, result: NetworkCalculusResult) -> None:
+        """Recompute and attach the per-path provenance ledgers.
+
+        Lazy import: the explain layer costs nothing unless requested.
+        """
+        from repro.explain.netcalc import netcalc_provenance
+
+        result.provenance = netcalc_provenance(self, result)
+
 
 def analyze_network_calculus(
     network: Network,
@@ -374,6 +397,7 @@ def analyze_network_calculus(
     progress=None,
     incremental: bool = False,
     cache=None,
+    explain: bool = False,
 ) -> NetworkCalculusResult:
     """One-shot convenience wrapper around :class:`NetworkCalculusAnalyzer`."""
     return NetworkCalculusAnalyzer(
@@ -384,4 +408,5 @@ def analyze_network_calculus(
         progress=progress,
         incremental=incremental,
         cache=cache,
+        explain=explain,
     ).analyze()

@@ -75,12 +75,18 @@ class NetworkCalculusResult:
         Observability snapshot (counters / timers / phase spans, see
         :mod:`repro.obs`) when the analysis ran with
         ``collect_stats=True``; None otherwise.
+    provenance:
+        Per-path bound :class:`~repro.obs.provenance.Decomposition`
+        ledgers, keyed like ``paths``, when the analysis ran with
+        ``explain=True``; None otherwise.  Never cached: always
+        recomputed from the (possibly cache-served) result.
     """
 
     grouping: bool
     ports: Dict[PortId, PortAnalysis] = field(default_factory=dict)
     paths: Dict[FlowPathKey, PathBound] = field(default_factory=dict)
     stats: Optional[Dict[str, object]] = None
+    provenance: Optional[Dict[FlowPathKey, object]] = None
 
     def bound_us(self, vl_name: str, path_index: int = 0) -> float:
         """End-to-end bound of one VL path, in microseconds."""

@@ -12,7 +12,11 @@ simulator.  Everything is opt-in and zero-overhead when disabled:
 * :mod:`repro.obs.instrument` — the bundle the analyzers thread
   through their hot paths (``collect_stats=True`` turns it on);
 * :mod:`repro.obs.manifest` — run-manifest assembly, validation
-  against the documented schema, and JSON persistence.
+  against the documented schema, and JSON persistence;
+* :mod:`repro.obs.prometheus` — textfile-collector exposition of
+  metrics snapshots (the CLI's ``--metrics-prom``);
+* :mod:`repro.obs.provenance` — bit-exact additive bound
+  decompositions (the substrate of :mod:`repro.explain`).
 """
 
 from repro.obs.instrument import OFF, Instrumentation
@@ -25,6 +29,11 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, TimerStats
+from repro.obs.prometheus import (
+    registry_samples,
+    render_prometheus,
+    write_prometheus,
+)
 from repro.obs.trace import NULL_TRACER, ProgressHook, Span, Tracer
 
 __all__ = [
@@ -44,4 +53,7 @@ __all__ = [
     "network_identity",
     "validate_manifest",
     "write_manifest",
+    "registry_samples",
+    "render_prometheus",
+    "write_prometheus",
 ]

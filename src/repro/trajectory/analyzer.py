@@ -134,6 +134,15 @@ class TrajectoryAnalyzer:
         The cache to use when ``incremental``; defaults to the
         process-wide cache.  Passing a cache implies
         ``incremental=True``.
+    explain:
+        Attach per-path bound provenance ledgers
+        (:func:`repro.explain.trajectory.trajectory_provenance`) to the
+        result.  The bounds themselves are bit-identical either way;
+        the only recording cost is one ``Smax`` snapshot per sweep.
+        Under ``incremental`` the whole-result cache shortcut is
+        skipped — provenance needs the final sweep's live state, so it
+        is always recomputed, never served stale (per-walk and per-port
+        caches still apply).
     """
 
     def __init__(
@@ -146,6 +155,7 @@ class TrajectoryAnalyzer:
         progress=None,
         incremental: bool = False,
         cache=None,
+        explain: bool = False,
     ):
         if max_refinements < 1:
             raise ValueError(f"max_refinements must be >= 1, got {max_refinements}")
@@ -154,12 +164,17 @@ class TrajectoryAnalyzer:
         self.refine_smax = refine_smax
         self.max_refinements = max_refinements
         self.incremental = incremental or cache is not None
+        self.explain = explain
         self._cache = cache
         self._walk_cache = None
         self._obs = Instrumentation.create(collect_stats, progress)
         self._result: Optional[TrajectoryResult] = None
         self._prepared = False
         self._event_memo_enabled = True  # test hook: equivalence guard
+        # explain=True recording: the Smax map the final sweep ran with
+        # and that sweep's complete prefix-bound dictionary
+        self._explain_smax: Optional[Dict[FlowPortKey, float]] = None
+        self._explain_bounds: Optional[Dict[FlowPortKey, TrajectoryPathBound]] = None
 
     # ------------------------------------------------------------------
 
@@ -226,9 +241,10 @@ class TrajectoryAnalyzer:
 
         # Whole-result reuse: only when this call would do the default
         # NC seeding itself (a custom prepare(smax_seed) is not covered
-        # by the fingerprint).
+        # by the fingerprint) and no provenance is wanted (the replay
+        # needs the final sweep's live state).
         result_cache = result_fp = None
-        if self.incremental and not self._prepared:
+        if self.incremental and not self._prepared and not self.explain:
             from repro.incremental.cache import default_cache
 
             result_cache = self._cache if self._cache is not None else default_cache()
@@ -257,6 +273,10 @@ class TrajectoryAnalyzer:
         sweep_trace: List[Dict[str, object]] = []
         for _ in range(self.max_refinements):
             with obs.tracer.span("trajectory.sweep", sweep=sweeps + 1) as span:
+                if self.explain:
+                    # the last snapshot taken is the map the final
+                    # sweep ran with — what the provenance replay reads
+                    self._explain_smax = dict(self._smax)
                 bounds = self._sweep()
                 sweeps += 1
                 stable = True
@@ -286,6 +306,10 @@ class TrajectoryAnalyzer:
                 break
 
         result = self.build_result(bounds, sweeps)
+        if self.explain:
+            self._explain_bounds = bounds
+            with obs.tracer.span("trajectory.explain"):
+                self._attach_provenance(result)
         if result_cache is not None and result_fp is not None:
             result_cache.put(
                 "traj.result",
@@ -323,6 +347,17 @@ class TrajectoryAnalyzer:
         )
         self._result = result
         return result
+
+    def _attach_provenance(self, result: TrajectoryResult) -> None:
+        """Replay the final sweep and attach the per-path ledgers.
+
+        Lazy import: the explain layer costs nothing unless requested.
+        Requires ``_explain_smax`` / ``_explain_bounds`` to be set
+        (done by :meth:`analyze`, or by the batch coordinator).
+        """
+        from repro.explain.trajectory import trajectory_provenance
+
+        result.provenance = trajectory_provenance(self, result)
 
     def build_result(
         self, bounds: Dict[FlowPortKey, TrajectoryPathBound], sweeps: int
@@ -920,6 +955,7 @@ def analyze_trajectory(
     progress=None,
     incremental: bool = False,
     cache=None,
+    explain: bool = False,
 ) -> TrajectoryResult:
     """One-shot convenience wrapper around :class:`TrajectoryAnalyzer`."""
     return TrajectoryAnalyzer(
@@ -931,4 +967,5 @@ def analyze_trajectory(
         progress=progress,
         incremental=incremental,
         cache=cache,
+        explain=explain,
     ).analyze()

@@ -67,12 +67,18 @@ class TrajectoryResult:
         Observability snapshot (counters / timers / phase spans plus
         the ``sweeps`` convergence trace, see :mod:`repro.obs`) when
         the analysis ran with ``collect_stats=True``; None otherwise.
+    provenance:
+        Per-path bound :class:`~repro.obs.provenance.Decomposition`
+        ledgers, keyed like ``paths``, when the analysis ran with
+        ``explain=True``; None otherwise.  Never cached: always
+        recomputed from a live fixed-point run.
     """
 
     serialization: str
     refinement_iterations: int = 0
     paths: Dict[FlowPathKey, TrajectoryPathBound] = field(default_factory=dict)
     stats: Optional[Dict[str, object]] = None
+    provenance: Optional[Dict[FlowPathKey, object]] = None
 
     def bound_us(self, vl_name: str, path_index: int = 0) -> float:
         """End-to-end bound of one VL path, in microseconds."""

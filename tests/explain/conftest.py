@@ -1,0 +1,14 @@
+"""Shared fixtures for the bound-provenance tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.configs import fig2_network
+from repro.explain import explain_network
+
+
+@pytest.fixture(scope="module")
+def fig2_explanation():
+    """One explained fig2 run shared by a module (the runs are pure)."""
+    return explain_network(fig2_network())

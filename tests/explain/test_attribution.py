@@ -1,0 +1,72 @@
+"""Cross-method attribution: the gap re-expressed, the winner named."""
+
+import math
+
+import pytest
+
+from repro.configs import fig2_network
+from repro.errors import ProvenanceError
+from repro.explain import explain_network
+from repro.explain.attribution import attribute_paths
+
+
+def test_contributions_regroup_the_gap(fig2_explanation):
+    for attribution in fig2_explanation.attributions.values():
+        regrouped = math.fsum(v for _, v in attribution.contributions)
+        assert math.isclose(
+            regrouped, attribution.gap_us, rel_tol=1e-9, abs_tol=1e-6
+        )
+
+
+def test_fig2_trajectory_wins_by_burst_accumulation(fig2_explanation):
+    # Paper Sec. V / Fig. 8: on the sample configuration the trajectory
+    # approach is tighter everywhere, driven by NC's burst accumulation.
+    summary = fig2_explanation.summary
+    assert summary.trajectory_wins == summary.n_paths == 5
+    assert summary.nc_wins == 0
+    assert summary.dominant_on_trajectory_wins[0][0] == "burst-accumulation"
+
+
+def test_small_smax_flips_the_winner_to_nc_via_counted_twice():
+    # Fig. 9 scenario: shrink v1's frames and the trajectory bound's two
+    # per-transition largest-frame charges ("counted twice") outweigh
+    # NC's burst pessimism — NC wins, and the attribution must say why.
+    network = fig2_network()
+    network.replace_virtual_link(network.vl("v1").with_s_max_bytes(100.0))
+    explanation = explain_network(network)
+    attribution = explanation.attributions[("v1", 0)]
+    assert attribution.winner == "network_calculus"
+    assert attribution.dominant_term == "counted-twice"
+    assert attribution.contribution("counted-twice") < 0.0
+
+
+def test_dominant_term_sign_matches_the_gap(fig2_explanation):
+    for attribution in fig2_explanation.attributions.values():
+        if attribution.winner == "tie":
+            assert attribution.dominant_term == "none"
+            continue
+        value = attribution.contribution(attribution.dominant_term)
+        assert value * attribution.gap_us > 0
+
+
+def test_hop_alignment_covers_the_path(fig2_explanation):
+    for attribution in fig2_explanation.attributions.values():
+        assert len(attribution.hops) == len(attribution.node_path) - 1
+        nc_total = math.fsum(h.network_calculus_us for h in attribution.hops)
+        traj_total = math.fsum(h.trajectory_us for h in attribution.hops)
+        assert math.isclose(nc_total, attribution.network_calculus_us, rel_tol=1e-9)
+        assert math.isclose(traj_total, attribution.trajectory_us, rel_tol=1e-9)
+
+
+def test_mismatched_provenance_maps_rejected(fig2_explanation):
+    nc = dict(fig2_explanation.netcalc.provenance)
+    nc.pop(next(iter(nc)))
+    with pytest.raises(ProvenanceError, match="different VL paths"):
+        attribute_paths(nc, fig2_explanation.trajectory.provenance)
+
+
+def test_summary_counts_and_residuals(fig2_explanation):
+    summary = fig2_explanation.summary
+    assert summary.nc_wins + summary.trajectory_wins + summary.ties == summary.n_paths
+    assert summary.conservation_failures == 0
+    assert 0.0 <= summary.max_abs_residual_us < 1e-9

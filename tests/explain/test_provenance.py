@@ -1,0 +1,128 @@
+"""The error-free-transformation substrate of the ledgers."""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.obs.provenance import (
+    FP_RESIDUAL,
+    Decomposition,
+    ExactAccumulator,
+    Term,
+    closing_residual,
+    two_sum,
+)
+
+
+class TestTwoSum:
+    def test_sum_is_the_rounded_sum(self):
+        a, b = 0.1, 0.2
+        s, e = two_sum(a, b)
+        assert s == a + b
+
+    def test_error_free_identity_exact_in_rationals(self):
+        rng = random.Random(17)
+        for _ in range(500):
+            a = rng.uniform(-1e6, 1e6) * 10.0 ** rng.randint(-12, 12)
+            b = rng.uniform(-1e6, 1e6) * 10.0 ** rng.randint(-12, 12)
+            s, e = two_sum(a, b)
+            # s + e == a + b must hold as an identity over the *reals*
+            assert Fraction(s) + Fraction(e) == Fraction(a) + Fraction(b)
+
+    def test_exact_addition_has_zero_error(self):
+        s, e = two_sum(1.5, 0.25)
+        assert (s, e) == (1.75, 0.0)
+
+
+class TestExactAccumulator:
+    def test_value_matches_sequential_accumulation(self):
+        values = [0.1] * 10 + [1e16, -1e16, 0.3]
+        acc = ExactAccumulator()
+        total = 0.0
+        for x in values:
+            total += x
+            acc.add(x)
+        assert acc.value == total
+
+    def test_residuals_close_the_ledger(self):
+        rng = random.Random(99)
+        values = [rng.uniform(0, 1000) for _ in range(100)]
+        acc = ExactAccumulator()
+        for x in values:
+            acc.add(x)
+        assert math.fsum(values + acc.residuals) == acc.value
+
+    def test_no_residuals_for_exact_sums(self):
+        acc = ExactAccumulator()
+        for x in (1.0, 2.0, 4.0, 8.0):
+            acc.add(x)
+        assert acc.value == 15.0
+        assert acc.residuals == []
+
+
+class TestClosingResidual:
+    def test_closes_bit_exactly(self):
+        parts = [0.1, 0.2, 0.3, 40.0]
+        target = 40.600000000000005
+        r = closing_residual(parts, target)
+        assert math.fsum(parts + [r]) == target
+
+    def test_zero_when_parts_already_sum(self):
+        assert closing_residual([1.0, 2.0], 3.0) == 0.0
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ProvenanceError):
+            closing_residual([float("inf")], 1.0)
+
+
+class TestDecomposition:
+    def _ledger(self, terms, bound):
+        return Decomposition(
+            method="network_calculus",
+            vl_name="v1",
+            path_index=0,
+            node_path=("e1", "S1", "e2"),
+            bound_us=bound,
+            terms=tuple(terms),
+        )
+
+    def test_conserved_and_check_pass(self):
+        d = self._ledger([Term("burst-delay", 40.0), Term("service-latency", 16.0)], 56.0)
+        assert d.conserved
+        d.check()
+
+    def test_check_raises_on_violation(self):
+        d = self._ledger([Term("burst-delay", 40.0)], 56.0)
+        assert not d.conserved
+        with pytest.raises(ProvenanceError, match="conservation"):
+            d.check()
+
+    def test_check_raises_on_child_mismatch(self):
+        bad = Term("workload", 10.0, children=(Term("competitor-charge", 9.0),))
+        d = self._ledger([bad, Term("node-latency", 46.0)], 56.0)
+        with pytest.raises(ProvenanceError, match="children"):
+            d.check()
+
+    def test_total_filters_labels(self):
+        d = self._ledger(
+            [Term("burst-delay", 40.0), Term("grouping-credit", -4.0), Term("service-latency", 16.0)],
+            52.0,
+        )
+        assert d.total("burst-delay", "grouping-credit") == 36.0
+
+    def test_max_abs_residual_scans_children(self):
+        inner = Term(FP_RESIDUAL, -3e-14)
+        parent = Term("workload", 10.0 + -3e-14, children=(Term("competitor-charge", 10.0), inner))
+        d = self._ledger([parent], parent.value_us)
+        assert d.max_abs_residual_us == 3e-14
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        d = self._ledger([Term("burst-delay", 40.0, hop=1, port=("e1", "S1"))], 40.0)
+        doc = json.loads(json.dumps(d.to_dict()))
+        assert doc["conserved"] is True
+        assert doc["terms"][0]["port"] == "e1->S1"

@@ -106,3 +106,43 @@ def test_write_manifest_rejects_invalid(tmp_path):
     with pytest.raises(ValueError):
         write_manifest(bad, tmp_path / "bad.json")
     assert not (tmp_path / "bad.json").exists()
+
+
+def test_explain_gauges_round_trip(tmp_path):
+    # the afdx explain summary gauges are plain numbers, so they ride the
+    # schema's metrics section unchanged through JSON and validation
+    metrics = {
+        "counters": {},
+        "gauges": {
+            "explain.paths": 626,
+            "explain.nc_wins": 98,
+            "explain.trajectory_wins": 528,
+            "explain.ties": 0,
+            "explain.conservation_failures": 0,
+            "explain.max_abs_residual_us": 4.6e-13,
+        },
+        "timers": {},
+    }
+    path = tmp_path / "manifest.json"
+    write_manifest(build_manifest(command="explain", options={}, metrics=metrics), path)
+    loaded = json.loads(path.read_text())
+    validate_manifest(loaded)
+    assert loaded["metrics"]["gauges"] == metrics["gauges"]
+
+
+def test_whatif_gauges_round_trip(tmp_path):
+    metrics = {
+        "counters": {"cache.hit.nc.port": 12},
+        "gauges": {
+            "whatif.dirty_ports": 3,
+            "whatif.dirty_vls": 5,
+            "whatif.changed_paths": 2,
+        },
+        "timers": {},
+    }
+    path = tmp_path / "manifest.json"
+    write_manifest(build_manifest(command="whatif", options={}, metrics=metrics), path)
+    loaded = json.loads(path.read_text())
+    validate_manifest(loaded)
+    assert loaded["metrics"]["gauges"] == metrics["gauges"]
+    assert loaded["metrics"]["counters"] == metrics["counters"]

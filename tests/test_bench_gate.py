@@ -1,0 +1,116 @@
+"""The benchmark-regression gate (scripts/bench_gate.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    Path(__file__).resolve().parent.parent / "scripts" / "bench_gate.py",
+)
+bench_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_gate)
+
+
+class TestFlatten:
+    def test_timing_suffixes_only(self):
+        record = {"cold_s": 1.5, "speedup": 12.0, "n_paths": 626, "ok": True}
+        assert dict(bench_gate.flatten_timings(record)) == {"cold_s": 1.5}
+
+    def test_ms_converted_to_seconds(self):
+        record = {"metrics": {"timers": {"bench.x": {"total_ms": 1500.0, "count": 2}}}}
+        flat = dict(bench_gate.flatten_timings(record))
+        assert flat == {"metrics.timers.bench.x.total_ms": 1.5}
+
+    def test_list_elements_addressed_by_discriminator(self):
+        record = {
+            "points": [
+                {"n_virtual_links": 100, "netcalc_s": 0.06},
+                {"n_virtual_links": 300, "netcalc_s": 0.14},
+            ]
+        }
+        flat = dict(bench_gate.flatten_timings(record))
+        assert flat == {
+            "points[n_virtual_links=100].netcalc_s": 0.06,
+            "points[n_virtual_links=300].netcalc_s": 0.14,
+        }
+
+    def test_list_without_discriminator_uses_index(self):
+        flat = dict(bench_gate.flatten_timings({"runs": [{"t_s": 1.0}]}))
+        assert flat == {"runs[0].t_s": 1.0}
+
+
+class TestCompare:
+    def _compare(self, base, now, **kw):
+        kw.setdefault("tolerance", 0.30)
+        kw.setdefault("min_seconds", 0.01)
+        return {
+            (f, k): status
+            for f, k, status, *_ in bench_gate.compare(
+                {"B.json": now}, {"B.json": base}, **kw
+            )
+        }
+
+    def test_within_tolerance_is_ok(self):
+        got = self._compare({"cold_s": 1.0}, {"cold_s": 1.25})
+        assert got == {("B.json", "cold_s"): "ok"}
+
+    def test_regression_flagged_slower(self):
+        got = self._compare({"cold_s": 1.0}, {"cold_s": 1.4})
+        assert got == {("B.json", "cold_s"): "slower"}
+
+    def test_improvement_flagged_faster(self):
+        got = self._compare({"cold_s": 1.0}, {"cold_s": 0.5})
+        assert got == {("B.json", "cold_s"): "faster"}
+
+    def test_noise_floor_suppresses_micro_jitter(self):
+        got = self._compare({"cold_s": 0.001}, {"cold_s": 0.009})
+        assert got == {("B.json", "cold_s"): "ok"}
+
+    def test_new_and_missing_keys(self):
+        got = self._compare({"old_s": 1.0}, {"new_s": 1.0})
+        assert got == {
+            ("B.json", "old_s"): "missing",
+            ("B.json", "new_s"): "new",
+        }
+
+
+class TestMain:
+    def _setup(self, tmp_path, latest, baselines=None):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_x.json").write_text(json.dumps([latest]))
+        baselines_path = tmp_path / "baselines.json"
+        if baselines is not None:
+            baselines_path.write_text(json.dumps({"BENCH_x.json": baselines}))
+        return [
+            "--results-dir", str(results), "--baselines", str(baselines_path),
+        ]
+
+    def test_update_baselines_writes_latest_record(self, tmp_path):
+        args = self._setup(tmp_path, {"cold_s": 1.0, "n": 3})
+        assert bench_gate.main(args + ["--update-baselines"]) == 0
+        doc = json.loads((tmp_path / "baselines.json").read_text())
+        assert doc == {"BENCH_x.json": {"cold_s": 1.0}}
+
+    def test_advisory_by_default(self, tmp_path, capsys):
+        args = self._setup(tmp_path, {"cold_s": 2.0}, baselines={"cold_s": 1.0})
+        assert bench_gate.main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 slower" in out and "advisory" in out
+
+    def test_strict_fails_on_regression(self, tmp_path, capsys):
+        args = self._setup(tmp_path, {"cold_s": 2.0}, baselines={"cold_s": 1.0})
+        assert bench_gate.main(args + ["--strict"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_strict_passes_when_clean(self, tmp_path):
+        args = self._setup(tmp_path, {"cold_s": 1.0}, baselines={"cold_s": 1.0})
+        assert bench_gate.main(args + ["--strict"]) == 0
+
+    def test_missing_baselines_file_is_advisory(self, tmp_path, capsys):
+        args = self._setup(tmp_path, {"cold_s": 1.0})
+        assert bench_gate.main(args) == 0
+        assert "no baselines" in capsys.readouterr().out

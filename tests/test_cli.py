@@ -299,3 +299,58 @@ def test_profile_does_not_change_bounds(fig2_json, tmp_path, capsys):
     assert main(["analyze", fig2_json, "--profile", str(tmp_path / "p.pstats")]) == 0
     profiled = capsys.readouterr().out
     assert plain == profiled
+
+
+# ----------------------------------------------------------------------
+# Shared observability flag group (the _obs_parent() invariant)
+# ----------------------------------------------------------------------
+
+
+def test_every_subcommand_carries_the_obs_flag_group():
+    # a new subcommand registered without parents=[_obs_parent()] would
+    # ship without --log-level/--metrics-json/--metrics-prom/--progress/
+    # --profile; this walks every subparser so that cannot land silently
+    import argparse
+
+    from repro.cli import OBS_FLAG_DESTS
+
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    assert subparsers.choices  # sanity: there are subcommands to check
+    for name, subparser in subparsers.choices.items():
+        dests = {action.dest for action in subparser._actions}
+        missing = set(OBS_FLAG_DESTS) - dests
+        assert not missing, f"subcommand {name!r} lacks obs flags {sorted(missing)}"
+
+
+def test_profile_flag_on_simulate_and_whatif(fig2_json, tmp_path, capsys):
+    prof = tmp_path / "sim.pstats"
+    assert main(["simulate", fig2_json, "--duration-ms", "5", "--profile", str(prof)]) == 0
+    assert prof.exists()
+    assert "profile written to" in capsys.readouterr().err
+
+    edits = tmp_path / "edits.json"
+    edits.write_text(json.dumps({"edits": [{"op": "retime", "vl": "v1", "bag_ms": 4.0}]}))
+    prof2 = tmp_path / "whatif.pstats"
+    assert main(["whatif", fig2_json, str(edits), "--profile", str(prof2)]) == 0
+    assert prof2.exists()
+
+
+def test_metrics_prom_writes_textfile(fig2_json, tmp_path, capsys):
+    prom = tmp_path / "metrics.prom"
+    assert main(["analyze", fig2_json, "--metrics-prom", str(prom)]) == 0
+    assert "prometheus metrics written to" in capsys.readouterr().err
+    text = prom.read_text()
+    assert text.startswith("# TYPE repro_")
+    assert 'command="analyze"' in text
+    assert 'analyzer="trajectory"' in text
+
+
+def test_metrics_prom_unwritable_path_fails(fig2_json, tmp_path, capsys):
+    prom = tmp_path / "missing-dir" / "metrics.prom"
+    assert main(["analyze", fig2_json, "--metrics-prom", str(prom)]) == 1
+    assert "cannot write prometheus" in capsys.readouterr().err
