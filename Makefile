@@ -5,7 +5,7 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test bench bench-batch bench-scaling bench-incremental \
+.PHONY: check test lint bench bench-batch bench-scaling bench-incremental \
 	bench-explain bench-gate bench-baselines
 
 check:
@@ -13,6 +13,12 @@ check:
 
 test:
 	python -m pytest -x -q
+
+# Static analysis: the determinism/soundness code linter over src/,
+# then the configuration verifier over the shipped examples.
+lint:
+	python -m repro.lint src/repro
+	python -m repro.cli lint examples/configs/*.json --no-utilization-table
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

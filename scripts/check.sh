@@ -15,6 +15,12 @@ export PYTHONPATH
 echo "== compileall src =="
 python -m compileall -q src
 
+echo "== repro.lint (determinism/soundness linter, zero unwaived findings) =="
+python -m repro.lint src/repro
+
+echo "== afdx lint (config verifier over shipped examples) =="
+python -m repro.cli lint examples/configs/*.json --no-utilization-table
+
 echo "== pytest (tier-1) =="
 python -m pytest -x -q
 

@@ -301,7 +301,7 @@ class BatchAnalyzer:
                                 port_id,
                                 {
                                     name: entering[(name, port_id)]
-                                    for name in network.vls_at_port(port_id)
+                                    for name in sorted(network.vls_at_port(port_id))
                                 },
                             )
                             for port_id in level

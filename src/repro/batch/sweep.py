@@ -61,6 +61,7 @@ class SweepSpec:
     scenarios_per_config: int = 2
     duration_ms: float = 5.0
     cache_dir: Optional[str] = None  # share bound-cache entries across runs
+    preflight: bool = False  # verify each config (repro.network.preflight) first
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,7 @@ class SweepReport:
 
     @property
     def paths_checked(self) -> int:
+        # repro-lint: allow[REPRO101] integer path/scenario counts; exact in floats
         return sum(record.n_paths * record.n_scenarios for record in self.records)
 
     def render(self) -> str:
@@ -176,6 +178,16 @@ def sweep_one_config(config_seed: int, spec: SweepSpec) -> SweepConfigRecord:
             n_end_systems=spec.n_end_systems,
             n_virtual_links=spec.n_virtual_links,
         )
+        if spec.preflight:
+            from repro.network.preflight import ConfigVerifier
+
+            preflight = ConfigVerifier(utilization_table=False).verify_network(
+                network, source=f"seed={config_seed}"
+            )
+            if not preflight.ok:
+                first = preflight.errors[0]
+                record.error = f"preflight {first.rule_id}: {first.message}"
+                return record
         nc = analyze_network_calculus(network, cache=cache)
         trajectory = analyze_trajectory(network, serialization="safe", cache=cache)
     except (ConfigurationError, UnstableNetworkError, AnalysisError) as exc:
@@ -257,6 +269,7 @@ def batch_sweep(
                 done = 0
                 for records, busy in pool.map(_sweep_worker, tasks):
                     report.records.extend(records)
+                    # repro-lint: allow[REPRO102] wall-time bookkeeping, not an analysis value
                     busy_s += busy
                     done += len(records)
                     if obs.progress:

@@ -29,6 +29,18 @@ Subcommands
     into named additive terms (conservation-checked bit for bit) and
     attribute the per-path gap between the methods to its dominant
     mechanism (see ``docs/OBSERVABILITY.md``).
+``afdx lint CONFIG.json [CONFIG.json ...]``
+    Static preflight verification: check each configuration against
+    the theory preconditions (feed-forward routing, port stability)
+    and the ARINC-664 admission rules (BAG, frame sizes, routes,
+    multicast trees, ES wiring) without running any analysis.  Every
+    finding carries a stable ``CFG1xx`` rule id (see ``docs/LINT.md``);
+    errors exit 3.  ``analyze``, ``batch-sweep`` and ``whatif`` accept
+    ``--preflight`` to run the same checks before analyzing — a bad
+    configuration then fails with a one-line diagnostic (exit 3, or 4
+    when only stability is violated) instead of a deep analyzer error,
+    and a clean configuration's bounds are bit-identical with or
+    without the flag.
 
 ``analyze``, ``experiment``, ``batch-sweep`` and ``explain`` accept
 ``--jobs N`` to fan the analysis across N worker processes
@@ -62,7 +74,8 @@ Exit codes
 ----------
 
 0 success · 1 command-level failure (invalid config report, bound
-violations) · 2 usage error (argparse) · 3 configuration error ·
+violations) · 2 usage error (argparse) · 3 configuration error
+(including cyclic routing and ``lint`` findings of severity error) ·
 4 unstable network (no finite bound) · 5 other analysis error.
 """
 
@@ -83,7 +96,12 @@ from repro.configs import (
 from repro.core.combined import analyze_network
 from repro.core.comparison import summarize
 from repro.core.jitter import jitter_bounds
-from repro.errors import AnalysisError, ConfigurationError, UnstableNetworkError
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    CyclicRoutingError,
+    UnstableNetworkError,
+)
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.netcalc.analyzer import analyze_network_calculus
 from repro.network.serialization import network_from_json, network_to_json
@@ -216,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the content-addressed bound cache in DIR "
         "(bit-identical results, repeat runs reuse cached per-port work)",
     )
+    analyze.add_argument(
+        "--preflight", action="store_true",
+        help="verify the configuration (afdx lint rules) before analyzing; "
+        "errors fail with a one-line diagnostic instead of a deep analyzer "
+        "error, a clean config's bounds are unchanged",
+    )
 
     validate = sub.add_parser("validate", parents=[obs], help="check a configuration")
     validate.add_argument("config", help="configuration JSON file")
@@ -302,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="share the content-addressed bound cache across sweeps "
         "(and with the other incremental commands)",
     )
+    sweep.add_argument(
+        "--preflight", action="store_true",
+        help="verify each generated configuration (afdx lint rules) before "
+        "analyzing it; rejected configs are recorded as skipped",
+    )
 
     whatif = sub.add_parser(
         "whatif", parents=[obs],
@@ -325,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="persist the bound cache in DIR so repeated what-ifs on the "
         "same base configuration skip the cold run's recomputation",
+    )
+    whatif.add_argument(
+        "--preflight", action="store_true",
+        help="verify the base configuration (afdx lint rules) before "
+        "the incremental analysis",
     )
 
     explain = sub.add_parser(
@@ -371,6 +405,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument(
         "-o", "--output", default=None, help="write the report to a file"
+    )
+
+    lint = sub.add_parser(
+        "lint", parents=[obs],
+        help="statically verify configurations against the theory "
+        "preconditions and ARINC-664 admission rules (no analysis run)",
+    )
+    lint.add_argument(
+        "configs", nargs="+", metavar="CONFIG",
+        help="configuration JSON file(s)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when only warnings are found (default: warnings pass)",
+    )
+    lint.add_argument(
+        "--max-utilization", type=float, default=1.0, metavar="U",
+        help="stability threshold for CFG102 (default 1.0, the theoretical "
+        "limit; admission control may verify a stricter value)",
+    )
+    lint.add_argument(
+        "--no-utilization-table", action="store_true",
+        help="suppress the CFG110 per-port utilization info entries",
     )
 
     return parser
@@ -426,9 +487,38 @@ def _manifest_options(args: argparse.Namespace) -> Dict[str, object]:
     }
 
 
+def _run_preflight(network, source: str, ctx: _RunContext) -> None:
+    """Verify ``network`` before analysis (the ``--preflight`` flag).
+
+    Warnings go to stderr; errors abort with the first finding as a
+    one-line diagnostic — :func:`main` maps it to exit 4 when only
+    stability (CFG102) is violated, exit 3 for anything structural.
+    A clean configuration passes through untouched: the verifier never
+    mutates the network, so computed bounds are bit-identical with or
+    without the preflight (``tests/lint/test_preflight.py``).
+    """
+    from repro.network.preflight import ConfigVerifier
+
+    report = ConfigVerifier(utilization_table=False).verify_network(
+        network, source=source
+    )
+    if ctx.collect:
+        ctx.metrics.gauge("preflight.errors", len(report.errors))
+        ctx.metrics.gauge("preflight.warnings", len(report.warnings))
+    for finding in report.warnings:
+        print(f"afdx: preflight: {finding.render()}", file=sys.stderr)
+    if not report.ok:
+        first = report.errors[0]
+        if report.stability_only:
+            raise UnstableNetworkError(f"preflight {first.rule_id}: {first.message}")
+        raise ConfigurationError(f"preflight {first.rule_id}: {first.message}")
+
+
 def _cmd_analyze(args: argparse.Namespace, ctx: _RunContext) -> int:
     network = network_from_json(args.config)
     ctx.set_config(network, source=args.config)
+    if args.preflight:
+        _run_preflight(network, args.config, ctx)
     batch = BatchAnalyzer(
         network,
         jobs=args.jobs,
@@ -568,6 +658,7 @@ def _cmd_batch_sweep(args: argparse.Namespace, ctx: _RunContext) -> int:
         scenarios_per_config=args.scenarios,
         duration_ms=args.duration_ms,
         cache_dir=args.cache_dir,
+        preflight=args.preflight,
     )
     report = batch_sweep(
         spec, jobs=args.jobs, collect_stats=ctx.collect, progress=ctx.progress
@@ -588,6 +679,8 @@ def _cmd_whatif(args: argparse.Namespace, ctx: _RunContext) -> int:
 
     network = network_from_json(args.config)
     ctx.set_config(network, source=args.config)
+    if args.preflight:
+        _run_preflight(network, args.config, ctx)
     edits = load_edit_script(args.edits)
     engine = DeltaAnalyzer(
         network,
@@ -681,6 +774,67 @@ def _cmd_explain(args: argparse.Namespace, ctx: _RunContext) -> int:
     return EXIT_OK if summary.conservation_failures == 0 else EXIT_FAILURE
 
 
+def _cmd_lint(args: argparse.Namespace, ctx: _RunContext) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.network.preflight import ConfigVerifier
+
+    verifier = ConfigVerifier(
+        max_utilization=args.max_utilization,
+        utilization_table=not args.no_utilization_table,
+    )
+    reports = []
+    unreadable: List[str] = []
+    for config in args.configs:
+        try:
+            document = json.loads(Path(config).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            unreadable.append(f"{config}: {exc}")
+            continue
+        if not isinstance(document, dict):
+            unreadable.append(f"{config}: configuration must be a JSON object")
+            continue
+        reports.append(verifier.verify_dict(document, source=config))
+
+    n_errors = sum(len(r.errors) for r in reports) + len(unreadable)
+    n_warnings = sum(len(r.warnings) for r in reports)
+    if ctx.collect:
+        ctx.metrics.gauge("lint.configs", len(args.configs))
+        ctx.metrics.gauge("lint.errors", n_errors)
+        ctx.metrics.gauge("lint.warnings", n_warnings)
+
+    if args.format == "json":
+        payload = {
+            "configs": [r.to_dict() for r in reports],
+            "unreadable": unreadable,
+            "summary": {
+                "configs": len(args.configs),
+                "errors": n_errors,
+                "warnings": n_warnings,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for message in unreadable:
+            print(f"ERROR: {message}")
+        for report in reports:
+            for finding in report.findings:
+                print(finding.render())
+            status = "OK" if report.ok else "INVALID"
+            worst = max(report.port_utilization.values(), default=0.0)
+            print(
+                f"{report.source}: {status} "
+                f"({len(report.errors)} error(s), {len(report.warnings)} "
+                f"warning(s), max port utilization {worst:.3f})"
+            )
+    if n_errors:
+        return EXIT_CONFIG_ERROR
+    if n_warnings and args.strict:
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 def _cmd_report(args: argparse.Namespace, ctx: _RunContext) -> int:
     from pathlib import Path
 
@@ -712,6 +866,7 @@ _COMMANDS = {
     "batch-sweep": _cmd_batch_sweep,
     "whatif": _cmd_whatif,
     "explain": _cmd_explain,
+    "lint": _cmd_lint,
 }
 
 
@@ -770,6 +925,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 code = _COMMANDS[args.command](args, ctx)
     except ConfigurationError as exc:
+        status, error, code = "error", str(exc), EXIT_CONFIG_ERROR
+    except CyclicRoutingError as exc:
+        # cyclic routing is a property of the configuration, not an
+        # analysis failure: exit like any other configuration error
         status, error, code = "error", str(exc), EXIT_CONFIG_ERROR
     except UnstableNetworkError as exc:
         status, error, code = "error", str(exc), EXIT_UNSTABLE

@@ -113,10 +113,12 @@ class IndustrialConfigSpec:
 
 
 def _weighted_choice(rng: random.Random, table: Sequence[Tuple[object, int]]) -> object:
+    # repro-lint: allow[REPRO101] integer spec-table weights; exact in floats
     total = sum(weight for _, weight in table)
     pick = rng.uniform(0, total)
     acc = 0.0
     for value, weight in table:
+        # repro-lint: allow[REPRO102] cumulative-weight scan in the fixed spec-table order
         acc += weight
         if pick <= acc:
             return value

@@ -7,6 +7,7 @@ the other method is tighter.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.combined import analyze_network
@@ -33,10 +34,10 @@ def summarize(paths: Iterable[PathComparison]) -> ComparisonStats:
     wins = sum(1 for p in entries if p.trajectory_wins)
     return ComparisonStats(
         n_paths=len(entries),
-        mean_benefit_trajectory_pct=sum(traj) / len(traj),
+        mean_benefit_trajectory_pct=math.fsum(traj) / len(traj),
         max_benefit_trajectory_pct=max(traj),
         min_benefit_trajectory_pct=min(traj),
-        mean_benefit_best_pct=sum(best) / len(best),
+        mean_benefit_best_pct=math.fsum(best) / len(best),
         max_benefit_best_pct=max(best),
         min_benefit_best_pct=min(best),
         trajectory_wins_share=wins / len(entries),
@@ -82,7 +83,7 @@ def group_mean_benefit(
     buckets: Dict[object, List[float]] = {}
     for path in result.paths.values():
         buckets.setdefault(key(path), []).append(path.benefit_trajectory_pct)
-    means = {group: sum(vals) / len(vals) for group, vals in buckets.items()}
+    means = {group: math.fsum(vals) / len(vals) for group, vals in buckets.items()}
     if keys is not None:
         return {group: means[group] for group in keys if group in means}
     return means

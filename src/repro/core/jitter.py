@@ -11,6 +11,7 @@ buffers and the RM skew windows of redundant networks.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -54,11 +55,11 @@ def path_floor_us(network: Network, vl_name: str, path_index: int = 0) -> float:
     asserted by the test suite.
     """
     vl = network.vl(vl_name)
-    total = 0.0
+    terms = []
     for pid in network.port_path(vl_name, path_index):
-        total += vl.s_min_bits / network.link_rate(*pid)
-        total += network.node(pid[0]).technological_latency_us
-    return total
+        terms.append(vl.s_min_bits / network.link_rate(*pid))
+        terms.append(network.node(pid[0]).technological_latency_us)
+    return math.fsum(terms)
 
 
 def jitter_bounds(

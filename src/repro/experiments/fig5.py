@@ -10,6 +10,7 @@ better).
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.configs.industrial import IndustrialConfigSpec
@@ -39,7 +40,7 @@ def run_fig5(
     )
     for bag in sorted(buckets):
         values = buckets[bag]
-        result.rows.append((bag, sum(values) / len(values), len(values)))
+        result.rows.append((bag, math.fsum(values) / len(values), len(values)))
     result.notes = [
         "paper shape: benefit increases as the BAG decreases "
         "(~9% at 128 ms up to ~14% at the shortest BAGs)",

@@ -20,8 +20,13 @@ splits every hop's delay bound into the paper's additive pieces:
     (grouped minus ungrouped horizontal deviation, always <= 0 up to
     rounding).
 ``fp-residual``
-    Exact rounding errors of the above splits and of the path-level
-    delay summation — see :mod:`repro.obs.provenance`.
+    Exact rounding errors of the above splits — see
+    :mod:`repro.obs.provenance`.  The path-level summation itself is
+    ``math.fsum`` (correctly rounded), so it adds no residual: the
+    per-hop splits are error-free transformations of each recorded
+    port delay, hence the ledger's real-number sum *is* the real sum
+    of the per-port delays, and ``fsum`` rounds both to the same
+    float.
 
 A post-hoc replay also covers every cache-hit path of the incremental
 layer for free: provenance is *recomputed* from the (bit-identical)
@@ -30,6 +35,7 @@ cached result, never served stale.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Tuple
 
 from repro.curves import RateLatency, horizontal_deviation
@@ -40,7 +46,6 @@ from repro.network.port_graph import topological_port_order
 from repro.obs.provenance import (
     FP_RESIDUAL,
     Decomposition,
-    ExactAccumulator,
     Term,
     two_sum,
 )
@@ -66,7 +71,7 @@ def _replay_ports(analyzer, result) -> Dict[PortId, _HopSplit]:
     for port_id in order:
         buckets = {
             name: entering[(name, port_id)]
-            for name in network.vls_at_port(port_id)
+            for name in sorted(network.vls_at_port(port_id))
         }
         recorded = result.ports[port_id].delay_us
         aggregate, _ = port_aggregate_curve(
@@ -108,15 +113,14 @@ def netcalc_provenance(analyzer, result) -> Dict[Tuple[str, int], Decomposition]
     splits = _replay_ports(analyzer, result)
     out: Dict[Tuple[str, int], Decomposition] = {}
     for key, path in result.paths.items():
-        accumulator = ExactAccumulator()
+        delays = [result.ports[port_id].delay_us for port_id in path.port_ids]
         terms = []
         hop_bounds = []
         for hop, port_id in enumerate(path.port_ids, start=1):
             latency, queueing, queue_residual, credit, credit_residual = (
                 splits[port_id]
             )
-            accumulator.add(result.ports[port_id].delay_us)
-            hop_bounds.append(accumulator.value)
+            hop_bounds.append(math.fsum(delays[:hop]))
             terms.append(
                 Term("service-latency", latency, hop=hop, port=port_id)
             )
@@ -140,13 +144,14 @@ def netcalc_provenance(analyzer, result) -> Dict[Tuple[str, int], Decomposition]
                             hop=hop, port=port_id, group="grouping-credit",
                         )
                     )
-        if accumulator.value != path.total_us:
+        # total_us is math.fsum(per-port delays); the per-hop splits are
+        # error-free, so the ledger needs no path-sum residual to conserve.
+        replayed_total = math.fsum(delays)
+        if replayed_total != path.total_us:
             raise ProvenanceError(
                 f"NC path replay of {key[0]}[{key[1]}] sums per-port delays "
-                f"to {accumulator.value!r}, result recorded {path.total_us!r}"
+                f"to {replayed_total!r}, result recorded {path.total_us!r}"
             )
-        for residual in accumulator.residuals:
-            terms.append(Term(FP_RESIDUAL, residual, group="path-sum"))
         decomposition = Decomposition(
             method="network_calculus",
             vl_name=path.vl_name,

@@ -1,0 +1,50 @@
+"""Static-analysis subsystem: the repo's determinism/soundness linter.
+
+The analyses in this repository promise more than "roughly correct
+numbers": bounds must be *bit-identical* across ``--jobs N``, across
+cold and warm cache runs, and across ``PYTHONHASHSEED`` variation
+(see ``docs/INCREMENTAL.md``).  Two shipped bugs broke that promise in
+mechanically detectable ways — an insertion-order float-sum leak in
+``Network.port_utilization`` and a concavity micro-segment born of
+float noise — so this package enforces the hazard classes as lint
+rules over the source tree itself:
+
+* float accumulation through builtin ``sum()`` or ``+=`` reduction
+  loops instead of :func:`math.fsum` (REPRO101 / REPRO102);
+* iteration over ``set``/``frozenset`` values whose order feeds
+  results, without a ``sorted()`` (REPRO103);
+* the process-global ``random`` module and order-by-``hash()``
+  (REPRO104);
+* wall-clock reads — ``time.time``, ``datetime.now`` — in analyzer or
+  cache code (REPRO105);
+* mutable default arguments (REPRO201) and bare ``except:`` (REPRO202);
+* malformed or unused inline waivers (REPRO301 / REPRO302).
+
+Run it as ``python -m repro.lint src/`` (text or ``--format json``).
+A finding is silenced only by an inline waiver **with a reason**::
+
+    total = sum(counts)  # repro-lint: allow[REPRO101] integer counters
+
+The full rule catalogue, waiver syntax and the mapping from each rule
+to the determinism contract it protects live in ``docs/LINT.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintResult, lint_paths, lint_source, lint_sources
+from repro.lint.findings import Finding, Severity
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+    "render_text",
+    "render_json",
+    "RULES",
+    "Rule",
+]

@@ -1,0 +1,81 @@
+"""Command line of the code linter: ``python -m repro.lint [PATHS...]``.
+
+Exit codes
+----------
+
+0 no unwaived findings · 1 unwaived warnings only · 2 usage error
+(argparse) · 3 unwaived errors (or unparsable files).
+
+``--format json`` emits the stable machine form consumed by CI; text
+is the default for humans.  ``--show-waived`` lists waived findings in
+the text report (JSON always includes them, flagged ``"waived": true``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import RULES
+
+__all__ = ["main", "build_parser", "EXIT_CLEAN", "EXIT_WARNINGS", "EXIT_ERRORS"]
+
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+# argparse exits with 2 on usage errors
+EXIT_ERRORS = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Determinism/soundness linter for the repro codebase "
+        "(rule catalogue in docs/LINT.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-waived", action="store_true",
+        help="also list waived findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}  {rule.severity.value:<8} {rule.summary}")
+        return EXIT_CLEAN
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    result = lint_paths(args.paths, select=select)
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        sys.stdout.write(render_text(result, show_waived=args.show_waived))
+    if result.errors or result.parse_failures:
+        return EXIT_ERRORS
+    if result.warnings:
+        return EXIT_WARNINGS
+    return EXIT_CLEAN

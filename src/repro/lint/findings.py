@@ -1,0 +1,98 @@
+"""Finding and severity model shared by the code linter and ``afdx lint``.
+
+A :class:`Finding` is one diagnostic: a rule id, a severity, a location
+and a message.  Findings sort by ``(path, line, column, rule id)`` so
+every reporter — text, JSON, the run manifest — emits them in the same
+deterministic order regardless of rule-execution or filesystem order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``info < warning < error``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __str__(self) -> str:  # used directly by the text reporter
+        return self.value
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.INFO: 0,
+    Severity.WARNING: 1,
+    Severity.ERROR: 2,
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a lint rule.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier (``REPRO101``, ``CFG102``, ...) documented in
+        ``docs/LINT.md``.
+    severity:
+        :class:`Severity` of the finding.
+    path:
+        Source file (code linter) or configuration file / name
+        (config verifier) the finding belongs to.
+    line / column:
+        1-based line and 0-based column; both 0 for whole-file or
+        whole-configuration findings.
+    message:
+        Human-readable, single-line description.
+    waived:
+        True when an inline waiver suppressed the finding; waived
+        findings are reported (JSON) but never affect the exit code.
+    waiver_reason:
+        The reason text of the waiver that suppressed this finding.
+    """
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    waived: bool = field(default=False, compare=False)
+    waiver_reason: Optional[str] = field(default=None, compare=False)
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.column, self.rule_id, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (stable key order via sort)."""
+        out: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "waived": self.waived,
+        }
+        if self.waiver_reason is not None:
+            out["waiver_reason"] = self.waiver_reason
+        return out
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        location = f"{self.path}:{self.line}:{self.column}"
+        suffix = f" (waived: {self.waiver_reason})" if self.waived else ""
+        return f"{location}: {self.severity} {self.rule_id}: {self.message}{suffix}"

@@ -1,0 +1,78 @@
+"""Project-wide context for the lint rules (two-pass engine, pass 1).
+
+Rules such as REPRO103 (unordered set iteration) need to know more
+than one statement shows: ``for v in self.vls_at_port(port)`` is a
+hazard only because ``vls_at_port`` returns a ``FrozenSet``.  Before
+any rule runs, the engine parses *every* file under analysis and
+collects the names of functions/methods whose **return annotation** is
+a set type.  Rules then treat a call to any such name as producing a
+set, wherever the call appears — a deliberately name-based (not fully
+type-resolved) inference: it needs no third-party type checker, and a
+rare false positive is exactly what inline waivers are for.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["ProjectContext", "collect_project_context", "annotation_is_set"]
+
+#: Annotation heads that denote an unordered hash-based collection.
+_SET_ANNOTATION_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet", "KeysView"}
+)
+
+
+def _annotation_head(node: ast.AST) -> str:
+    """The leading name of an annotation node (``FrozenSet[str]`` -> ``FrozenSet``)."""
+    if isinstance(node, ast.Subscript):
+        return _annotation_head(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotation: "FrozenSet[str]" — take the part before '['
+        return node.value.split("[", 1)[0].strip()
+    return ""
+
+
+def annotation_is_set(node: ast.AST) -> bool:
+    """True when a return/variable annotation denotes a set type."""
+    return _annotation_head(node) in _SET_ANNOTATION_NAMES
+
+
+@dataclass
+class ProjectContext:
+    """What pass 1 learned about the whole file set under analysis.
+
+    Attributes
+    ----------
+    set_returning:
+        Bare function/method names annotated to return a set type.
+        Name-based: a call ``x.vls_at_port(...)`` matches the method
+        definition ``def vls_at_port(...) -> FrozenSet[str]`` found in
+        *any* linted file.
+    """
+
+    set_returning: Set[str] = field(default_factory=set)
+
+
+def collect_project_context(trees: Dict[str, ast.AST]) -> ProjectContext:
+    """Pass 1: harvest signatures from the parsed files.
+
+    Parameters
+    ----------
+    trees:
+        Mapping of display path to parsed module, as produced by the
+        engine.  Iteration order does not matter — the result is a set.
+    """
+    ctx = ProjectContext()
+    for tree in trees.values():
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.returns is not None and annotation_is_set(node.returns):
+                    ctx.set_returning.add(node.name)
+    return ctx

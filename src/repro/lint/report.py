@@ -1,0 +1,36 @@
+"""Reporters for lint results: human text and machine JSON.
+
+Both are deterministic: findings arrive pre-sorted from the engine and
+the JSON form is serialized with ``sort_keys=True`` and a trailing
+newline, so two runs over the same tree produce byte-identical output
+(the property ``tests/lint/test_determinism.py`` locks in).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult, show_waived: bool = False) -> str:
+    """One line per finding plus a summary line."""
+    lines = []
+    for finding in result.findings:
+        if finding.waived and not show_waived:
+            continue
+        lines.append(finding.render())
+    for path, message in result.parse_failures:
+        lines.append(f"{path}:0:0: error PARSE: {message}")
+    lines.append(
+        f"{len(result.files)} file(s): {result.errors} error(s), "
+        f"{result.warnings} warning(s), {result.waived} waived"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document (sorted keys, 2-space indent, newline-terminated)."""
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"

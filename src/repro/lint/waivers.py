@@ -1,0 +1,98 @@
+"""Inline waiver comments: ``# repro-lint: allow[RULE-ID] reason``.
+
+A waiver suppresses findings of the listed rule ids on its own line or
+on the line immediately below (so it can sit above a long statement).
+Several ids may be listed comma-separated::
+
+    demand = sum(counts)  # repro-lint: allow[REPRO101] integer counters
+    # repro-lint: allow[REPRO101,REPRO103] ordered tuple; fsum shifts goldens
+    total = sum(values)
+
+Waivers are themselves linted: a waiver without a reason or naming an
+unknown rule id is a REPRO301 error, and a waiver that suppressed
+nothing is a REPRO302 warning — stale waivers must not outlive the
+hazard they excused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["Waiver", "parse_waivers", "WAIVER_RE"]
+
+#: Matches one waiver comment token.
+WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<ids>[^\]]*)\]\s*(?P<reason>.*?)\s*$"
+)
+
+
+@dataclass
+class Waiver:
+    """One parsed waiver comment.
+
+    ``used`` is flipped by the engine when the waiver suppresses at
+    least one finding; unused waivers are reported as REPRO302.
+    """
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        """True when this waiver applies to ``rule_id`` at ``line``.
+
+        A waiver covers its own line and the line immediately below.
+        """
+        return rule_id in self.rule_ids and line in (self.line, self.line + 1)
+
+
+def parse_waivers(source: str) -> List[Waiver]:
+    """Extract every waiver comment of a source file, in line order.
+
+    Tokenizes the source so only real ``#`` comments count — a waiver
+    *example* inside a docstring (as in this module's own docstring)
+    is documentation, not a waiver.  Files that fail to tokenize
+    return no waivers; the engine separately reports the parse error.
+    """
+    waivers: List[Waiver] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return waivers
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = WAIVER_RE.search(token.string)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        waivers.append(
+            Waiver(line=token.start[0], rule_ids=ids, reason=match.group("reason"))
+        )
+    return waivers
+
+
+def index_by_rule(waivers: List[Waiver]) -> Dict[str, List[Waiver]]:
+    """Group waivers by each rule id they name (for O(1)-ish lookups)."""
+    index: Dict[str, List[Waiver]] = {}
+    for waiver in waivers:
+        for rule_id in waiver.rule_ids:
+            index.setdefault(rule_id, []).append(waiver)
+    return index
+
+
+def known_rule_ids(waivers: List[Waiver], known: Set[str]) -> List[Tuple[Waiver, str]]:
+    """The ``(waiver, bad_id)`` pairs naming rule ids that do not exist."""
+    out: List[Tuple[Waiver, str]] = []
+    for waiver in waivers:
+        for rule_id in waiver.rule_ids:
+            if rule_id not in known:
+                out.append((waiver, rule_id))
+    return out

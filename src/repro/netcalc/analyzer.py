@@ -224,7 +224,7 @@ class NetworkCalculusAnalyzer:
         """
         network = self.network
         flows = network.vls_at_port(port_id)
-        for name in flows:
+        for name in sorted(flows):
             out_bucket = entering[(name, port_id)].delayed(delay)
             for path in network.vl(name).paths:
                 ports = list(zip(path, path[1:]))
@@ -252,7 +252,7 @@ class NetworkCalculusAnalyzer:
                 node_path=tuple(node_path),
                 port_ids=port_ids,
                 per_port_delay_us=delays,
-                total_us=sum(delays),
+                total_us=math.fsum(delays),
             )
 
     def analyze(self) -> NetworkCalculusResult:
@@ -325,7 +325,7 @@ class NetworkCalculusAnalyzer:
                 if analysis is None:
                     buckets = {
                         name: entering[(name, port_id)]
-                        for name in network.vls_at_port(port_id)
+                        for name in sorted(network.vls_at_port(port_id))
                     }
                     analysis = self.analyze_port(port_id, buckets)
                     if cache is not None:
@@ -350,6 +350,7 @@ class NetworkCalculusAnalyzer:
                 obs.metrics.counter("netcalc.port_cache_misses", cache_misses)
             obs.metrics.gauge(
                 "netcalc.groups",
+                # repro-lint: allow[REPRO101] integer group counts; exact in floats
                 sum(analysis.n_groups for analysis in result.ports.values()),
             )
 

@@ -49,7 +49,7 @@ def arrival_groups(network: Network, port_id: PortId) -> Dict[GroupKey, FrozenSe
     (nothing upstream constrains them jointly).
     """
     groups: Dict[GroupKey, set] = {}
-    for vl_name in network.vls_at_port(port_id):
+    for vl_name in sorted(network.vls_at_port(port_id)):
         upstream = network.upstream_port(vl_name, port_id)
         key: GroupKey = upstream if upstream is not None else ("source", vl_name)
         groups.setdefault(key, set()).add(vl_name)

@@ -135,7 +135,7 @@ class StaticPriorityAnalyzer:
 
         for port_id in order:
             flows = network.vls_at_port(port_id)
-            buckets = {name: entering[(name, port_id)] for name in flows}
+            buckets = {name: entering[(name, port_id)] for name in sorted(flows)}
             port = network.output_port(*port_id)
             beta = RateLatency(
                 rate=port.rate_bits_per_us, latency=port.latency_us
@@ -158,7 +158,7 @@ class StaticPriorityAnalyzer:
                 n_groups=n_groups,
             )
 
-            for name in flows:
+            for name in sorted(flows):
                 level = network.vl(name).priority
                 out_bucket = buckets[name].delayed(delays[level])
                 for path in network.vl(name).paths:
@@ -177,7 +177,7 @@ class StaticPriorityAnalyzer:
                 node_path=tuple(node_path),
                 port_ids=port_ids,
                 per_port_delay_us=per_port,
-                total_us=sum(per_port),
+                total_us=math.fsum(per_port),
             )
         self._result = result
         return result

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -104,4 +105,4 @@ class NetworkCalculusResult:
 
     def total_buffer_bits(self) -> float:
         """Sum of all port backlog bounds (network-wide buffer budget)."""
-        return sum(p.backlog_bits for p in self.ports.values())
+        return math.fsum(p.backlog_bits for p in self.ports.values())

@@ -24,6 +24,7 @@ engineer needs:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -121,11 +122,11 @@ def _path_floor_us(network: Network, vl_name: str, path_index: int) -> float:
     """Uncontended store-and-forward minimum of one path."""
     vl = network.vl(vl_name)
     ports = network.port_path(vl_name, path_index)
-    total = 0.0
+    terms = []
     for pid in ports:
-        total += vl.s_min_bits / network.link_rate(*pid)
-        total += network.node(pid[0]).technological_latency_us
-    return total
+        terms.append(vl.s_min_bits / network.link_rate(*pid))
+        terms.append(network.node(pid[0]).technological_latency_us)
+    return math.fsum(terms)
 
 
 def combine_redundant(

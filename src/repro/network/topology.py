@@ -8,6 +8,7 @@ instances, per-port flow sets, and per-flow output-port sequences.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro import units
@@ -324,7 +325,7 @@ class Network:
         set-equal networks (the incremental cache's contract).
         """
         rate = self.link_rate(*port_id)
-        demand = sum(
+        demand = math.fsum(
             self._vls[v].rate_bits_per_us for v in sorted(self.vls_at_port(port_id))
         )
         return demand / rate

@@ -15,6 +15,7 @@ which is hand-rolled so the library keeps zero runtime dependencies.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -52,7 +53,7 @@ def bound_summary(result) -> Dict[str, object]:
     def agg(values: List[float]) -> Dict[str, float]:
         return {
             "min_us": round(min(values), 3),
-            "mean_us": round(sum(values) / len(values), 3),
+            "mean_us": round(math.fsum(values) / len(values), 3),
             "max_us": round(max(values), 3),
         }
 

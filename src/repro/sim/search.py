@@ -17,6 +17,7 @@ cleverer scenario).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
@@ -56,7 +57,7 @@ class TightnessReport:
     def mean_coverage(self) -> float:
         """Average observed/bound over all paths."""
         values = [p.coverage for p in self.paths.values()]
-        return sum(values) / len(values)
+        return math.fsum(values) / len(values)
 
     @property
     def min_coverage(self) -> float:

@@ -42,6 +42,7 @@ industrial configuration tractable in seconds.
 from __future__ import annotations
 
 import hashlib
+import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.netcalc.analyzer import analyze_network_calculus
@@ -324,10 +325,13 @@ class TrajectoryAnalyzer:
             obs.metrics.counter("trajectory.sweeps", sweeps)
             obs.metrics.counter("trajectory.tree_ports_visited", sweeps * len(bounds))
             obs.metrics.counter(
-                "trajectory.competitors_met", sum(b.n_competitors for b in bounds.values())
+                "trajectory.competitors_met",
+                # repro-lint: allow[REPRO101] integer competitor counts; exact in floats
+                sum(b.n_competitors for b in bounds.values()),
             )
             obs.metrics.counter(
                 "trajectory.candidates_evaluated",
+                # repro-lint: allow[REPRO101] integer candidate counts; exact in floats
                 sum(b.n_candidates for b in bounds.values()),
             )
             obs.metrics.counter("trajectory.paths_bound", len(result.paths))
@@ -724,12 +728,12 @@ class TrajectoryAnalyzer:
                     self.network.vl(other).s_max_bits / rate
                 )
             spans = [
-                sum(members) - max(members)
+                math.fsum(members) - max(members)
                 for members in groups.values()
                 if len(members) >= 2
             ]
             if spans:
-                port_gain = sum(spans) if mode == "paper" else max(spans)
+                port_gain = math.fsum(spans) if mode == "paper" else max(spans)
         return tuple(added), tuple(readded), port_gain
 
     def _root_horizon(self, root: PortId) -> float:

@@ -65,14 +65,14 @@ def busy_period_bound(
     flow_list = list(flows)
     if not flow_list:
         return 0.0
-    utilization = sum(c / t for c, t, _ in flow_list)
+    utilization = math.fsum(c / t for c, t, _ in flow_list)
     if utilization >= 1.0 - 1e-12:
         raise UnstableNetworkError(
             f"port utilization {utilization:.4f} >= 1: busy period is unbounded"
         )
-    value = sum(c for c, _, _ in flow_list)
+    value = math.fsum(c for c, _, _ in flow_list)
     for _ in range(max_iterations):
-        new_value = sum(
+        new_value = math.fsum(
             interference_count(value, offset, period) * c
             for c, period, offset in flow_list
         )

@@ -54,6 +54,7 @@ TestMeshReMeeting`` for the concrete divergence/rejoin topology.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Tuple
 
 from repro.network.port import PortId
@@ -128,16 +129,16 @@ def serialization_gain(
         groups.setdefault((meet_port, upstream), []).append(transmission_time[vl_name])
 
     if mode == "paper":
-        gain = 0.0
-        for members in groups.values():
-            if len(members) >= 2:
-                gain += sum(members) - max(members)
-        return gain
+        return math.fsum(
+            math.fsum(members) - max(members)
+            for members in groups.values()
+            if len(members) >= 2
+        )
 
     # "windowed": one credit per port — the largest group's span
     per_port: Dict[PortId, float] = {}
     for (meet_port, _upstream), members in groups.items():
         if len(members) >= 2:
-            span = sum(members) - max(members)
+            span = math.fsum(members) - max(members)
             per_port[meet_port] = max(per_port.get(meet_port, 0.0), span)
-    return sum(per_port.values())
+    return math.fsum(per_port.values())

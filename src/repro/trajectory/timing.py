@@ -16,6 +16,7 @@ sound — and let the analyzer tighten it with trajectory prefix bounds
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Tuple
 
 from repro.netcalc.results import NetworkCalculusResult
@@ -54,13 +55,13 @@ def compute_smin(network: Network) -> Dict[FlowPortKey, float]:
     smin: Dict[FlowPortKey, float] = {}
     for (vl_name, pid), prefix in tree_prefixes(network).items():
         vl = network.vl(vl_name)
-        total = 0.0
-        for earlier in prefix[:-1]:
-            rate = network.link_rate(*earlier)
-            total += vl.s_min_bits / rate
-        for later in prefix[1:]:
-            total += network.node(later[0]).technological_latency_us
-        smin[(vl_name, pid)] = total
+        terms = [
+            vl.s_min_bits / network.link_rate(*earlier) for earlier in prefix[:-1]
+        ]
+        terms.extend(
+            network.node(later[0]).technological_latency_us for later in prefix[1:]
+        )
+        smin[(vl_name, pid)] = math.fsum(terms)
     return smin
 
 
@@ -80,10 +81,8 @@ def seed_smax_from_netcalc(
     """
     smax: Dict[FlowPortKey, float] = {}
     for (vl_name, pid), prefix in tree_prefixes(network).items():
-        total = 0.0
-        for earlier in prefix[:-1]:
-            total += nc_result.ports[earlier].delay_us
+        terms = [nc_result.ports[earlier].delay_us for earlier in prefix[:-1]]
         if len(prefix) > 1:
-            total += network.node(pid[0]).technological_latency_us
-        smax[(vl_name, pid)] = total
+            terms.append(network.node(pid[0]).technological_latency_us)
+        smax[(vl_name, pid)] = math.fsum(terms)
     return smax

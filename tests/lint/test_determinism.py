@@ -1,0 +1,96 @@
+"""The linter's own determinism contract, self-cleanliness and the
+seeded mutation gate.
+
+* two runs over the same tree produce byte-identical JSON;
+* the JSON is also byte-identical under different ``PYTHONHASHSEED``
+  values (subprocess check — the seed cannot change in-process);
+* ``python -m repro.lint src/repro`` exits 0: the codebase carries
+  zero unwaived findings;
+* re-introducing the historical ``Network.port_utilization`` hazard
+  (builtin ``sum()`` over an unsorted frozenset) is caught with the
+  expected rule ids — the linter guards the very bug class it was
+  built after.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import lint_paths, lint_source, render_json
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+TOPOLOGY = SRC / "repro" / "network" / "topology.py"
+
+
+class TestDeterminism:
+    def test_two_runs_byte_identical(self):
+        first = render_json(lint_paths([str(SRC / "repro" / "lint")]))
+        second = render_json(lint_paths([str(SRC / "repro" / "lint")]))
+        assert first == second
+
+    def test_json_identical_across_hash_seeds(self):
+        outputs = []
+        for seed in ("0", "4242"):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.lint", "--format", "json",
+                 str(SRC / "repro" / "network")],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": seed},
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+
+
+class TestSelfClean:
+    def test_src_tree_has_zero_unwaived_findings(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(SRC / "repro")],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC)},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_every_waiver_in_src_has_a_reason(self):
+        result = lint_paths([str(SRC / "repro")])
+        for finding in result.findings:
+            if finding.waived:
+                assert finding.waiver_reason, finding.render()
+
+
+class TestMutationGate:
+    """Seeded mutation: undo the port_utilization hardening."""
+
+    def _mutate(self) -> str:
+        source = TOPOLOGY.read_text()
+        hardened = (
+            "math.fsum(\n"
+            "            self._vls[v].rate_bits_per_us "
+            "for v in sorted(self.vls_at_port(port_id))\n"
+            "        )"
+        )
+        assert hardened in source, "port_utilization changed; update the gate"
+        return source.replace(
+            hardened,
+            "sum(\n"
+            "            self._vls[v].rate_bits_per_us "
+            "for v in self.vls_at_port(port_id)\n"
+            "        )",
+        )
+
+    def test_unsorted_float_sum_is_caught(self):
+        result = lint_source(self._mutate(), path=str(TOPOLOGY))
+        ids = {f.rule_id for f in result.active}
+        # the float hazard and the set-ordering hazard must both fire
+        assert "REPRO101" in ids
+        assert "REPRO103" in ids
+        assert result.errors >= 2
+
+    def test_pristine_topology_is_clean(self):
+        result = lint_source(TOPOLOGY.read_text(), path=str(TOPOLOGY))
+        assert result.errors == 0, [f.render() for f in result.active]

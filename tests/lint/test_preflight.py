@@ -1,0 +1,160 @@
+"""ConfigVerifier: rule ids per fixture, clean samples, bit-identity.
+
+The bad-configuration fixtures under ``tests/lint/fixtures/`` each
+violate exactly one documented precondition; the verifier must name
+the documented CFG rule.  The shipped sample configurations and the
+paper's configurations must lint clean.  Enabling the preflight on a
+clean network must not change a single computed bound bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.configs import fig1_network, fig2_network, industrial_network
+from repro.configs.industrial import IndustrialConfigSpec
+from repro.lint.findings import Severity
+from repro.network.preflight import (
+    CONFIG_RULES,
+    CONFIG_RULES_BY_ID,
+    ConfigVerifier,
+    find_port_cycle,
+    verify_config_dict,
+    verify_network,
+)
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture -> the error rule id it must trigger
+EXPECTED = {
+    "cyclic.json": "CFG101",
+    "overloaded.json": "CFG102",
+    "bad_bag.json": "CFG104",
+    "bad_sizes.json": "CFG105",
+    "disconnected.json": "CFG106",
+    "multicast_not_tree.json": "CFG108",
+}
+
+
+def _verify_fixture(name: str):
+    document = json.loads((FIXTURES / name).read_text())
+    return ConfigVerifier(utilization_table=False).verify_dict(
+        document, source=name
+    )
+
+
+class TestBadFixtures:
+    @pytest.mark.parametrize("name,rule_id", sorted(EXPECTED.items()))
+    def test_fixture_triggers_documented_rule(self, name, rule_id):
+        report = _verify_fixture(name)
+        assert not report.ok
+        assert rule_id in {f.rule_id for f in report.errors}
+        assert CONFIG_RULES_BY_ID[rule_id].severity is Severity.ERROR
+
+    def test_cycle_message_names_the_actual_cycle(self):
+        report = _verify_fixture("cyclic.json")
+        (finding,) = [f for f in report.errors if f.rule_id == "CFG101"]
+        # the concrete cycle, closed (first port repeated at the end)
+        assert "S1->S2 -> S2->S3 -> S3->S1 -> S1->S2" in finding.message
+
+    def test_overloaded_is_stability_only(self):
+        report = _verify_fixture("overloaded.json")
+        assert report.stability_only
+        assert not _verify_fixture("cyclic.json").stability_only
+
+    def test_raw_stage_catches_unbuildable_documents(self):
+        # s_min > s_max is rejected by the VirtualLink constructor;
+        # the raw stage must still produce a structured CFG105 finding
+        report = _verify_fixture("bad_sizes.json")
+        assert not report.built
+        assert "CFG105" in {f.rule_id for f in report.errors}
+
+
+class TestCleanConfigurations:
+    @pytest.mark.parametrize(
+        "build", [fig1_network, fig2_network], ids=["fig1", "fig2"]
+    )
+    def test_paper_configurations_lint_clean(self, build):
+        report = verify_network(build(), utilization_table=False)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_industrial_sample_lints_clean(self):
+        network = industrial_network(IndustrialConfigSpec(n_virtual_links=64))
+        report = verify_network(network, utilization_table=False)
+        assert report.ok
+
+    def test_example_configs_lint_clean(self):
+        examples = Path(__file__).resolve().parents[2] / "examples" / "configs"
+        configs = sorted(examples.glob("*.json"))
+        assert configs, "examples/configs/*.json missing"
+        for config in configs:
+            document = json.loads(config.read_text())
+            report = verify_config_dict(document, source=config.name)
+            assert report.ok, [f.render() for f in report.errors]
+
+    def test_no_cycle_in_fig2(self):
+        assert find_port_cycle(fig2_network()) is None
+
+    def test_utilization_table_entries(self):
+        report = verify_network(fig2_network())
+        infos = [f for f in report.findings if f.rule_id == "CFG110"]
+        assert len(infos) == len(report.port_utilization)
+        assert all(f.severity is Severity.INFO for f in infos)
+
+
+class TestVerifierContract:
+    def test_catalogue_ids_unique_and_documented(self):
+        ids = [rule.rule_id for rule in CONFIG_RULES]
+        assert len(ids) == len(set(ids))
+        for rule in CONFIG_RULES:
+            assert rule.precondition, rule.rule_id
+
+    def test_report_to_dict_is_json_serializable(self):
+        report = _verify_fixture("overloaded.json")
+        payload = json.dumps(report.to_dict(), sort_keys=True)
+        assert "CFG102" in payload
+
+    def test_strict_utilization_threshold(self):
+        # fig2 peaks at 0.04: a 3% admission threshold must reject it
+        report = ConfigVerifier(
+            max_utilization=0.03, utilization_table=False
+        ).verify_network(fig2_network())
+        assert "CFG102" in {f.rule_id for f in report.errors}
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigVerifier(max_utilization=1.5)
+
+
+class TestPreflightBitIdentity:
+    def test_bounds_unchanged_by_preflight(self):
+        """The verifier reads the network; bounds stay bit-identical."""
+        from repro.core.combined import analyze_network
+
+        network = fig2_network()
+        before = analyze_network(network)
+        report = verify_network(network, utilization_table=True)
+        assert report.ok
+        after = analyze_network(fig2_network())
+        for key in before.paths:
+            assert (
+                before.paths[key].network_calculus_us
+                == after.paths[key].network_calculus_us
+            )
+            assert before.paths[key].trajectory_us == after.paths[key].trajectory_us
+
+    def test_sweep_preflight_changes_no_outcome(self):
+        from repro.batch import SweepSpec, batch_sweep
+
+        plain = batch_sweep(SweepSpec(configs=3, scenarios_per_config=1))
+        checked = batch_sweep(
+            SweepSpec(configs=3, scenarios_per_config=1, preflight=True)
+        )
+        assert len(plain.records) == len(checked.records)
+        for a, b in zip(plain.records, checked.records):
+            assert a.config_seed == b.config_seed
+            assert a.min_margin_us == b.min_margin_us
+            assert a.error == b.error

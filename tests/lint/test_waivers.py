@@ -1,0 +1,76 @@
+"""Waiver syntax, coverage and hygiene (REPRO301 / REPRO302)."""
+
+from __future__ import annotations
+
+from repro.lint import lint_source
+from repro.lint.waivers import parse_waivers
+
+
+def _ids(result):
+    return [f.rule_id for f in result.active]
+
+
+SNIPPET = "def f(xs):\n    return sum(x * 1.5 for x in xs){comment}\n"
+
+
+class TestWaiverSuppression:
+    def test_reasoned_waiver_suppresses(self):
+        src = SNIPPET.format(
+            comment="  # repro-lint: allow[REPRO101] integer-weight table"
+        )
+        result = lint_source(src, path="s.py")
+        assert _ids(result) == []
+        assert result.waived == 1
+        waived = [f for f in result.findings if f.waived]
+        assert waived[0].waiver_reason == "integer-weight table"
+
+    def test_waiver_on_preceding_line_covers_next(self):
+        src = (
+            "def f(xs):\n"
+            "    # repro-lint: allow[REPRO101] integer counts\n"
+            "    return sum(x * 1.5 for x in xs)\n"
+        )
+        result = lint_source(src, path="s.py")
+        assert _ids(result) == []
+        assert result.waived == 1
+
+    def test_waiver_does_not_cover_other_rules(self):
+        src = SNIPPET.format(comment="  # repro-lint: allow[REPRO103] not the hazard")
+        result = lint_source(src, path="s.py")
+        # REPRO101 still fires; the REPRO103 waiver is unused (REPRO302)
+        assert "REPRO101" in _ids(result)
+        assert "REPRO302" in _ids(result)
+
+
+class TestWaiverHygiene:
+    def test_waiver_without_reason_is_malformed(self):
+        src = SNIPPET.format(comment="  # repro-lint: allow[REPRO101]")
+        result = lint_source(src, path="s.py")
+        assert "REPRO301" in _ids(result)
+        # a reasonless waiver must NOT suppress the finding
+        assert "REPRO101" in _ids(result)
+
+    def test_unknown_rule_id_is_malformed(self):
+        src = SNIPPET.format(comment="  # repro-lint: allow[NOPE-1] because")
+        result = lint_source(src, path="s.py")
+        assert "REPRO301" in _ids(result)
+
+    def test_docstring_mention_is_not_a_waiver(self):
+        src = (
+            '"""Docs show the syntax: # repro-lint: allow[REPRO101] reason."""\n'
+            "def f(xs):\n"
+            "    return sum(x * 1.5 for x in xs)\n"
+        )
+        result = lint_source(src, path="s.py")
+        assert "REPRO101" in _ids(result)
+        assert "REPRO301" not in _ids(result)
+        assert "REPRO302" not in _ids(result)
+
+    def test_parse_waivers_extracts_fields(self):
+        waivers = parse_waivers(
+            "x = 1  # repro-lint: allow[REPRO101,REPRO103] two hazards here\n"
+        )
+        assert len(waivers) == 1
+        assert waivers[0].rule_ids == ("REPRO101", "REPRO103")
+        assert waivers[0].reason == "two hazards here"
+        assert waivers[0].line == 1
