@@ -6,7 +6,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
 .PHONY: check test lint bench bench-batch bench-scaling bench-incremental \
-	bench-explain bench-gate bench-baselines
+	bench-explain bench-gate bench-baselines profile-smoke
 
 check:
 	sh scripts/check.sh
@@ -50,3 +50,8 @@ bench-gate:
 
 bench-baselines:
 	python scripts/bench_gate.py --update-baselines
+
+# Observatory smoke: `afdx profile` on fig1, valid Chrome traces, and
+# a byte-identical deterministic section across runs and --jobs.
+profile-smoke:
+	python scripts/profile_smoke.py

@@ -18,15 +18,16 @@ Usage::
 """
 
 import argparse
-import json
 import os
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from _telemetry import append_record  # noqa: E402
 
 from repro.batch import BatchAnalyzer  # noqa: E402
 from repro.batch.pool import resolve_jobs  # noqa: E402
@@ -34,6 +35,12 @@ from repro.configs.industrial import (  # noqa: E402
     IndustrialConfigSpec,
     industrial_network,
 )
+from repro.netcalc.analyzer import analyze_network_calculus  # noqa: E402
+from repro.obs.costmodel import (  # noqa: E402
+    netcalc_cost_ledger,
+    trajectory_result_work,
+)
+from repro.trajectory.analyzer import analyze_trajectory  # noqa: E402
 
 RESULTS_PATH = REPO / "benchmarks" / "results" / "BENCH_batch.json"
 
@@ -72,8 +79,13 @@ def main(argv=None):
     for key in seq.paths:
         assert seq.paths[key] == par.paths[key], key
 
+    # One untimed direct run per method supplies the deterministic
+    # work signature (sequential and pooled runs are bit-identical,
+    # so either side describes both).
+    nc_result = analyze_network_calculus(network)
+    traj_result = analyze_trajectory(network)
+
     record = {
-        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S+0000"),
         "n_virtual_links": args.vls,
         "n_paths": len(seq.paths),
         "cpu_count": os.cpu_count(),
@@ -83,14 +95,13 @@ def main(argv=None):
         "parallel_s": round(par_s, 4),
         "speedup": round(seq_s / par_s, 3),
         "bit_identical": True,
+        "work": {
+            "network_calculus": netcalc_cost_ledger(nc_result).work,
+            "trajectory": trajectory_result_work(traj_result),
+        },
     }
 
-    history = []
-    if RESULTS_PATH.exists():
-        history = json.loads(RESULTS_PATH.read_text())
-    history.append(record)
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_record(RESULTS_PATH, record)
 
     print(
         f"industrial({args.vls} VLs, {record['n_paths']} paths) on "

@@ -23,15 +23,16 @@ Usage::
 """
 
 import argparse
-import json
 import os
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from _telemetry import append_record  # noqa: E402
 
 from repro.configs.industrial import (  # noqa: E402
     IndustrialConfigSpec,
@@ -39,6 +40,10 @@ from repro.configs.industrial import (  # noqa: E402
 )
 from repro.explain import explain_network  # noqa: E402
 from repro.netcalc.analyzer import analyze_network_calculus  # noqa: E402
+from repro.obs.costmodel import (  # noqa: E402
+    netcalc_cost_ledger,
+    trajectory_result_work,
+)
 from repro.trajectory.analyzer import analyze_trajectory  # noqa: E402
 
 RESULTS_PATH = REPO / "benchmarks" / "results" / "BENCH_explain.json"
@@ -83,7 +88,6 @@ def main(argv=None) -> int:
     assert explanation.summary.conservation_failures == 0
 
     record = {
-        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S+0000"),
         "n_virtual_links": args.vls,
         "n_paths": len(plain_nc.paths),
         "cpu_count": os.cpu_count(),
@@ -94,14 +98,15 @@ def main(argv=None) -> int:
         "max_abs_residual_us": explanation.summary.max_abs_residual_us,
         "bit_identical": True,
         "conserved": True,
+        # explained bounds are bit-identical to plain ones, so the
+        # plain results' work signature describes both runs
+        "work": {
+            "network_calculus": netcalc_cost_ledger(plain_nc).work,
+            "trajectory": trajectory_result_work(plain_tr),
+        },
     }
 
-    history = []
-    if RESULTS_PATH.exists():
-        history = json.loads(RESULTS_PATH.read_text())
-    history.append(record)
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_record(RESULTS_PATH, record)
 
     print(
         f"industrial({args.vls} VLs, {record['n_paths']} paths) on "

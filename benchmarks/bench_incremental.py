@@ -28,15 +28,16 @@ Usage::
 """
 
 import argparse
-import json
 import os
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from _telemetry import append_record  # noqa: E402
 
 from repro.configs.industrial import (  # noqa: E402
     IndustrialConfigSpec,
@@ -45,6 +46,10 @@ from repro.configs.industrial import (  # noqa: E402
 from repro.incremental import RetimeVL  # noqa: E402
 from repro.incremental.delta import DeltaAnalyzer  # noqa: E402
 from repro.netcalc.analyzer import analyze_network_calculus  # noqa: E402
+from repro.obs.costmodel import (  # noqa: E402
+    netcalc_cost_ledger,
+    trajectory_result_work,
+)
 from repro.trajectory.analyzer import analyze_trajectory  # noqa: E402
 
 RESULTS_PATH = REPO / "benchmarks" / "results" / "BENCH_incremental.json"
@@ -106,7 +111,6 @@ def main(argv=None):
         assert cold_tr.paths[key].total_us == delta.trajectory.paths[key].total_us, key
 
     record = {
-        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S+0000"),
         "n_virtual_links": args.vls,
         "n_paths": len(cold_nc.paths),
         "cpu_count": os.cpu_count(),
@@ -122,14 +126,15 @@ def main(argv=None):
         "first_whatif_speedup": round(best_cold / first_s, 3),
         "speedup": round(best_cold / best_inc, 3),
         "bit_identical": True,
+        # deterministic cost-ledger summary of the edited network's
+        # analysis: exact across runs, compared bit-for-bit by the gate
+        "work": {
+            "network_calculus": netcalc_cost_ledger(cold_nc).work,
+            "trajectory": trajectory_result_work(cold_tr),
+        },
     }
 
-    history = []
-    if RESULTS_PATH.exists():
-        history = json.loads(RESULTS_PATH.read_text())
-    history.append(record)
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    record = append_record(RESULTS_PATH, record)
 
     print(
         f"industrial({args.vls} VLs, {record['n_paths']} paths) on "

@@ -15,23 +15,28 @@ Two entry points:
 """
 
 import argparse
-import json
 import os
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
 
 import pytest  # noqa: E402
+
+from _telemetry import append_record  # noqa: E402
 
 from repro.configs.industrial import (  # noqa: E402
     IndustrialConfigSpec,
     industrial_network,
 )
 from repro.netcalc.analyzer import NetworkCalculusAnalyzer  # noqa: E402
+from repro.obs.costmodel import (  # noqa: E402
+    netcalc_cost_ledger,
+    trajectory_result_work,
+)
 from repro.trajectory.analyzer import TrajectoryAnalyzer  # noqa: E402
 
 SIZES = [100, 300, 1000]
@@ -83,16 +88,17 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     record = {
-        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S+0000"),
         "cpu_count": os.cpu_count(),
         "runs": args.runs,
         "points": [],
     }
     for n_vls in args.sizes:
         network = industrial_network(IndustrialConfigSpec(n_virtual_links=n_vls))
+        nc_result = NetworkCalculusAnalyzer(network).analyze()  # warm reference
         netcalc_s = _best_of(
             lambda: NetworkCalculusAnalyzer(network).analyze(), args.runs
         )
+        traj_result = TrajectoryAnalyzer(network).analyze()
         trajectory_s = _best_of(
             lambda: TrajectoryAnalyzer(network).analyze(), args.runs
         )
@@ -101,6 +107,12 @@ def main(argv=None):
             "n_paths": len(network.flow_paths()),
             "netcalc_s": round(netcalc_s, 4),
             "trajectory_s": round(trajectory_s, 4),
+            # deterministic cost-ledger summary: exact per revision,
+            # compared bit-for-bit by scripts/bench_gate.py
+            "work": {
+                "network_calculus": netcalc_cost_ledger(nc_result).work,
+                "trajectory": trajectory_result_work(traj_result),
+            },
         }
         record["points"].append(point)
         print(
@@ -108,12 +120,7 @@ def main(argv=None):
             f"netcalc {netcalc_s:.3f}s, trajectory {trajectory_s:.3f}s"
         )
 
-    history = []
-    if RESULTS_PATH.exists():
-        history = json.loads(RESULTS_PATH.read_text())
-    history.append(record)
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_record(RESULTS_PATH, record)
     print(f"-> {RESULTS_PATH.relative_to(REPO)}")
     return 0
 

@@ -12,27 +12,41 @@ tens of seconds and is timed with a single round).  Set
 Perf trajectory: an autouse fixture records each benchmark's wall time
 in a session :class:`~repro.obs.metrics.MetricsRegistry`; at session
 end the snapshot is *appended* to ``benchmarks/results/BENCH_obs.json``
-(one record per session, oldest first), so successive runs accumulate
-a comparable timing history.
+through :mod:`benchmarks._telemetry` — schema-versioned, git-rev
+stamped, and rotated to the last ``--keep N`` records (default 50,
+``AFDX_BENCH_KEEP`` overrides) so the history stays bounded.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import time
+import sys
 from pathlib import Path
 
 import pytest
 
-from repro.configs.industrial import IndustrialConfigSpec
-from repro.obs.metrics import MetricsRegistry
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _telemetry import append_record  # noqa: E402
+
+from repro.configs.industrial import IndustrialConfigSpec  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_OBS_PATH = RESULTS_DIR / "BENCH_obs.json"
 
 #: Session-wide registry of per-benchmark wall times.
 _BENCH_METRICS = MetricsRegistry()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--keep",
+        type=int,
+        default=None,
+        help="BENCH_*.json records to retain per file (default: "
+        "AFDX_BENCH_KEEP or 50)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -67,21 +81,16 @@ def pytest_sessionfinish(session, exitstatus):
     snapshot = _BENCH_METRICS.to_dict()
     if not snapshot["timers"]:
         return  # nothing collected (collection-only run, -k filtered out...)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    history = []
-    if BENCH_OBS_PATH.exists():
-        try:
-            history = json.loads(BENCH_OBS_PATH.read_text())
-        except ValueError:
-            history = []
-    if not isinstance(history, list):
-        history = []
-    history.append(
+    try:
+        keep = session.config.getoption("--keep")
+    except ValueError:
+        keep = None
+    append_record(
+        BENCH_OBS_PATH,
         {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "exitstatus": int(exitstatus),
             "bench_vls": int(os.environ.get("AFDX_BENCH_VLS", "1000")),
             "metrics": snapshot,
-        }
+        },
+        keep=keep,
     )
-    BENCH_OBS_PATH.write_text(json.dumps(history, indent=2) + "\n")

@@ -20,10 +20,18 @@ against the committed ``benchmarks/baselines.json``:
   (no baseline) / ``missing`` (baselined key absent from the latest
   record, e.g. after a bench rewrite).
 
+Alongside the wall times, integer leaves under a record's ``work``
+section (the deterministic cost-ledger summary every bench script
+embeds — candidate evaluations, flow folds, sweeps) are compared
+**exactly**: they are bit-identical across machines, hash seeds and
+job counts, so there is no ±30% noise floor — any difference is a real
+algorithmic change.  Statuses: ``ok`` (equal) / ``more-work`` /
+``less-work`` / ``new`` / ``missing``.
+
 The gate is advisory by default (always exits 0, prints the table) so a
 noisy CI machine cannot block a merge; ``--strict`` makes ``slower``
-samples fatal.  ``--update-baselines`` rewrites ``baselines.json`` from
-the latest records.
+and ``more-work`` samples fatal.  ``--update-baselines`` rewrites
+``baselines.json`` from the latest records.
 
 Usage::
 
@@ -47,6 +55,9 @@ BASELINES_PATH = REPO / "benchmarks" / "baselines.json"
 DISCRIMINATORS = ("name", "id", "bench", "n_virtual_links", "configs", "label")
 
 TIMING_SUFFIXES = ("_s", "_ms")
+
+#: the record key whose integer subtree is compared exactly
+WORK_SEGMENT = "work"
 
 
 def _element_tag(index: int, element: object) -> str:
@@ -83,8 +94,45 @@ def flatten_timings(record: object, prefix: str = "") -> Iterator[Tuple[str, flo
             yield from flatten_timings(element, prefix + _element_tag(index, element))
 
 
+def flatten_work(
+    record: object, prefix: str = "", in_work: bool = False
+) -> Iterator[Tuple[str, int]]:
+    """Yield ``(flat_key, count)`` for integer leaves under ``work``.
+
+    Only leaves inside a ``work`` section count — they are the
+    deterministic cost-ledger summaries, exact across runs; integer
+    leaves elsewhere (``n_paths``, ``cpu_count``) stay ignored.
+    """
+    if isinstance(record, dict):
+        for key, value in record.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            inside = in_work or str(key) == WORK_SEGMENT
+            if isinstance(value, (dict, list)):
+                yield from flatten_work(value, path, inside)
+            elif (
+                inside
+                and isinstance(value, int)
+                and not isinstance(value, bool)
+            ):
+                yield path, int(value)
+    elif isinstance(record, list):
+        for index, element in enumerate(record):
+            yield from flatten_work(
+                element, prefix + _element_tag(index, element), in_work
+            )
+
+
+def _is_work_key(key: str) -> bool:
+    return WORK_SEGMENT in key.split(".")
+
+
 def latest_timings(results_dir: Path) -> Dict[str, Dict[str, float]]:
-    """``{file_name: {flat_key: seconds}}`` from each file's newest record."""
+    """``{file_name: {flat_key: sample}}`` from each file's newest record.
+
+    Timing samples (seconds, float) and work counters (exact ints,
+    keys containing a ``work`` segment) share the flat namespace; the
+    key shape keeps them apart.
+    """
     out: Dict[str, Dict[str, float]] = {}
     for path in sorted(results_dir.glob("BENCH_*.json")):
         try:
@@ -93,9 +141,10 @@ def latest_timings(results_dir: Path) -> Dict[str, Dict[str, float]]:
             print(f"bench-gate: warning: cannot read {path.name}: {exc}", file=sys.stderr)
             continue
         record = doc[-1] if isinstance(doc, list) and doc else doc
-        timings = dict(flatten_timings(record))
-        if timings:
-            out[path.name] = timings
+        samples = dict(flatten_timings(record))
+        samples.update(flatten_work(record))
+        if samples:
+            out[path.name] = samples
     return out
 
 
@@ -115,6 +164,16 @@ def compare(
                 rows.append((fname, key, "new", float("nan"), now[key]))
             elif key not in now:
                 rows.append((fname, key, "missing", base[key], float("nan")))
+            elif _is_work_key(key):
+                b, n = base[key], now[key]
+                # deterministic work counters: exact, no noise floor
+                if n == b:
+                    status = "ok"
+                elif n > b:
+                    status = "more-work"
+                else:
+                    status = "less-work"
+                rows.append((fname, key, status, b, n))
             else:
                 b, n = base[key], now[key]
                 if b < min_seconds and n < min_seconds:
@@ -133,6 +192,10 @@ def _fmt(value: float) -> str:
     return "-" if value != value else f"{value:10.4f}"  # NaN check
 
 
+def _fmt_work(value: float) -> str:
+    return "-" if value != value else f"{int(value):>10d}"  # NaN check
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -145,7 +208,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--strict", action="store_true",
-        help="exit non-zero when any sample is slower (default: advisory)",
+        help="exit non-zero when any sample is slower or does more work "
+             "(default: advisory)",
     )
     parser.add_argument(
         "--update-baselines", action="store_true",
@@ -165,7 +229,7 @@ def main(argv=None) -> int:
             json.dumps(latest, indent=2, sort_keys=True) + "\n"
         )
         n = sum(len(v) for v in latest.values())
-        print(f"bench-gate: wrote {n} baseline timings to {args.baselines}")
+        print(f"bench-gate: wrote {n} baseline samples to {args.baselines}")
         return 0
 
     if not args.baselines.exists():
@@ -187,13 +251,25 @@ def main(argv=None) -> int:
                 if base == base and now == now and base > 0
                 else ""
             )
-            print(
-                f"{status:>8}  {f'{fname}:{key}':<{width}}  "
-                f"base {_fmt(base)} s  now {_fmt(now)} s{ratio}"
-            )
-    summary = ", ".join(f"{counts.get(s, 0)} {s}" for s in ("ok", "faster", "slower", "new", "missing"))
-    print(f"bench-gate: {summary} (tolerance ±{args.tolerance:.0%})")
-    if counts.get("slower"):
+            if _is_work_key(key):
+                print(
+                    f"{status:>9}  {f'{fname}:{key}':<{width}}  "
+                    f"base {_fmt_work(base)}  now {_fmt_work(now)}{ratio}"
+                )
+            else:
+                print(
+                    f"{status:>9}  {f'{fname}:{key}':<{width}}  "
+                    f"base {_fmt(base)} s  now {_fmt(now)} s{ratio}"
+                )
+    summary = ", ".join(
+        f"{counts.get(s, 0)} {s}"
+        for s in ("ok", "faster", "slower", "more-work", "less-work", "new", "missing")
+    )
+    print(
+        f"bench-gate: {summary} "
+        f"(tolerance ±{args.tolerance:.0%}; work counters exact)"
+    )
+    if counts.get("slower") or counts.get("more-work"):
         if args.strict:
             print("bench-gate: FAIL (--strict and regressions present)")
             return 1

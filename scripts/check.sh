@@ -32,7 +32,10 @@ python -m pytest -x -q \
 echo "== incremental equivalence (30-edit replay vs cold, jobs=2, warm cache dir) =="
 python scripts/incremental_gate.py
 
-echo "== bench-regression gate (advisory; ±30% vs benchmarks/baselines.json) =="
+echo "== profile smoke (afdx profile on fig1; traces valid; ledger byte-identical) =="
+python scripts/profile_smoke.py
+
+echo "== bench-regression gate (advisory; ±30% wall, exact work counters) =="
 python scripts/bench_gate.py
 
 echo "check OK"

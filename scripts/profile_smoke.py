@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Smoke test of the performance observatory on the paper's Figure 1.
+
+Runs ``afdx profile examples/configs/fig1.json`` twice (JSON report +
+``--trace``) and asserts the observatory's core contracts:
+
+* both trace files are valid Chrome-trace documents
+  (:func:`repro.obs.tracefile.validate_chrome_trace` accepts them and
+  they contain at least one complete-event span);
+* the report's ``deterministic`` section — work counters, hot ports,
+  sweep cost curve — is **byte-identical** across the two runs (the
+  bit-identity contract of the cost ledger);
+* a ``--jobs 2`` run reproduces the same deterministic section (the
+  ledger is jobs-invariant).
+
+Exit 0 on success; raises (non-zero exit) on the first violation.
+
+Usage::
+
+    make profile-smoke
+    python scripts/profile_smoke.py [--config PATH]
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli import main as afdx  # noqa: E402
+from repro.obs.tracefile import load_chrome_trace  # noqa: E402
+
+DEFAULT_CONFIG = REPO / "examples" / "configs" / "fig1.json"
+
+
+def _profile(config: Path, out_dir: Path, tag: str, jobs: int = 1) -> dict:
+    """One ``afdx profile`` run; returns the parsed JSON report."""
+    report_path = out_dir / f"report_{tag}.json"
+    trace_path = out_dir / f"trace_{tag}.json"
+    code = afdx(
+        [
+            "profile",
+            str(config),
+            "--format",
+            "json",
+            "--output",
+            str(report_path),
+            "--jobs",
+            str(jobs),
+            "--trace",
+            str(trace_path),
+        ]
+    )
+    assert code == 0, f"afdx profile exited {code} ({tag})"
+
+    doc = load_chrome_trace(trace_path)  # validates or raises
+    spans = [ev for ev in doc["traceEvents"] if ev.get("ph") == "X"]
+    assert spans, f"trace {trace_path.name} has no complete events"
+
+    return json.loads(report_path.read_text())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", type=Path, default=DEFAULT_CONFIG)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="afdx-profile-smoke-") as tmp:
+        out_dir = Path(tmp)
+        first = _profile(args.config, out_dir, "run1")
+        second = _profile(args.config, out_dir, "run2")
+        pooled = _profile(args.config, out_dir, "jobs2", jobs=2)
+
+    assert first.get("profile_schema") == 1, "unexpected profile schema"
+    assert first["deterministic"]["hot_ports"], "no hot ports in the report"
+
+    canon = [
+        json.dumps(report["deterministic"], sort_keys=True)
+        for report in (first, second, pooled)
+    ]
+    assert canon[0] == canon[1], (
+        "deterministic section differs between two identical runs"
+    )
+    assert canon[0] == canon[2], (
+        "deterministic section differs between --jobs 1 and --jobs 2"
+    )
+
+    n_ports = len(first["deterministic"]["hot_ports"])
+    n_sweeps = len(first["deterministic"]["sweep_cost_curve"])
+    print(
+        f"profile-smoke OK: {args.config.name} -> {n_ports} hot port(s), "
+        f"{n_sweeps} sweep(s); deterministic section byte-identical "
+        f"across run1/run2/jobs=2; traces valid"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

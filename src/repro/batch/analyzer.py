@@ -50,6 +50,11 @@ from repro.network.port import PortId
 from repro.network.port_graph import port_levels, topological_port_order
 from repro.network.topology import Network
 from repro.network.validation import check_network
+from repro.obs.costmodel import (
+    CostLedger,
+    netcalc_cost_ledger,
+    record_trajectory_sweep,
+)
 from repro.obs.instrument import Instrumentation
 from repro.obs.logging import get_logger, kv
 from repro.batch.pool import WorkerPool, chunked, resolve_jobs, worker_state
@@ -109,15 +114,22 @@ def _build_nc_analyzer(payload: _Payload) -> NetworkCalculusAnalyzer:
 
 def _nc_worker(
     task: List[Tuple[PortId, Dict[str, LeakyBucket]]]
-) -> Tuple[List[Tuple[PortId, PortAnalysis]], float]:
-    """Analyze one chunk of a propagation level; returns busy seconds too."""
+) -> Tuple[List[Tuple[PortId, PortAnalysis]], int, float]:
+    """Analyze one chunk of a propagation level.
+
+    Returns ``(analyses, pid, busy seconds)`` — the pid keys the
+    per-worker busy accounting that becomes the synthetic worker lanes
+    of the ``--trace`` export.
+    """
+    import os
+
     analyzer = worker_state("netcalc", _build_nc_analyzer)
     start = time.perf_counter()
     out = [
         (port_id, analyzer.analyze_port_cached(port_id, buckets))
         for port_id, buckets in task
     ]
-    return out, time.perf_counter() - start
+    return out, os.getpid(), time.perf_counter() - start
 
 
 def _build_trajectory_analyzer(payload: _Payload) -> TrajectoryAnalyzer:
@@ -165,6 +177,19 @@ class _PoolStats:
     wall_s: float = 0.0
     jobs: int = 1
     cache_stats: Dict[int, Dict[str, Tuple[int, int]]] = field(default_factory=dict)
+    worker_busy: Dict[int, float] = field(default_factory=dict)
+
+    def record_task(self, pid: int, busy: float) -> None:
+        self.tasks += 1
+        self.busy_s += busy
+        self.worker_busy[pid] = self.worker_busy.get(pid, 0.0) + busy
+
+    def worker_lanes(self) -> List[float]:
+        """Per-worker busy milliseconds, pid-agnostic (sorted by pid)."""
+        return [
+            round(self.worker_busy[pid] * 1e3, 3)
+            for pid in sorted(self.worker_busy)
+        ]
 
     @property
     def utilization(self) -> float:
@@ -291,7 +316,7 @@ class BatchAnalyzer:
         started = time.perf_counter()
         with obs.tracer.span(
             "batch.netcalc", jobs=self.jobs, n_ports=len(order), n_levels=len(levels)
-        ):
+        ) as phase_span:
             with WorkerPool(self.jobs, payload) as pool:
                 done = 0
                 for level in levels:
@@ -308,9 +333,8 @@ class BatchAnalyzer:
                         ],
                         self.jobs * 2,
                     )
-                    for chunk_result, busy in pool.map(_nc_worker, tasks):
-                        stats.tasks += 1
-                        stats.busy_s += busy
+                    for chunk_result, pid, busy in pool.map(_nc_worker, tasks):
+                        stats.record_task(pid, busy)
                         for port_id, analysis in chunk_result:
                             analyses[port_id] = analysis
                     # burst inflation stays on the coordinator: one
@@ -322,6 +346,8 @@ class BatchAnalyzer:
                     done += len(level)
                     if progress:
                         progress.update("batch.netcalc", done, len(order))
+            if obs.enabled:
+                phase_span.attrs["workers"] = stats.worker_lanes()
         stats.wall_s = time.perf_counter() - started
 
         result = NetworkCalculusResult(grouping=self.grouping)
@@ -334,7 +360,10 @@ class BatchAnalyzer:
                 coordinator._attach_provenance(result)
         if obs.enabled:
             self._export_pool_stats(obs, "netcalc", stats)
-            result.stats = obs.export()
+            ledger = netcalc_cost_ledger(result)
+            exported = obs.export()
+            exported["cost"] = ledger.to_dict()
+            result.stats = exported
         _LOG.debug(
             "batch netcalc done %s",
             kv(jobs=self.jobs, ports=len(order), levels=len(levels), tasks=stats.tasks),
@@ -386,9 +415,10 @@ class BatchAnalyzer:
         stats = _PoolStats(jobs=self.jobs)
         progress = obs.progress
         started = time.perf_counter()
+        ledger = CostLedger("trajectory") if self.collect_stats else None
         with obs.tracer.span(
             "batch.trajectory", jobs=self.jobs, n_vls=len(vl_names), n_chunks=len(chunks)
-        ):
+        ) as phase_span:
             with WorkerPool(self.jobs, payload) as pool:
                 for _ in range(self.max_refinements):
                     if self.explain:
@@ -400,23 +430,35 @@ class BatchAnalyzer:
                     for chunk_bounds, cache_stats, pid, busy in pool.map(
                         _trajectory_worker, tasks
                     ):
-                        stats.tasks += 1
-                        stats.busy_s += busy
+                        stats.record_task(pid, busy)
                         stats.cache_stats[pid] = cache_stats
                         bounds.update(chunk_bounds)
                     sweeps += 1
                     if progress:
                         progress.update("batch.trajectory.sweep", sweeps, sweeps)
                     stable = True
+                    n_updates = 0
                     if self.refine_smax:
                         updates, _ = coordinator.tighten_smax(bounds)
                         stable = not updates
+                        n_updates = len(updates)
                         cumulative.update(updates)
+                    if ledger is not None:
+                        # the merged chunk bounds equal the sequential
+                        # sweep's map bit for bit, so the ledger is
+                        # identical for any --jobs N
+                        record_trajectory_sweep(
+                            ledger, bounds, smax_updates=n_updates
+                        )
                     if stable:
                         break
+            if obs.enabled:
+                phase_span.attrs["workers"] = stats.worker_lanes()
         stats.wall_s = time.perf_counter() - started
 
         result = coordinator.build_result(bounds, sweeps)
+        if ledger is not None:
+            ledger.add_work("paths_bound", len(result.paths))
         if self.explain:
             coordinator._explain_bounds = bounds
             with obs.tracer.span("batch.trajectory.explain"):
@@ -426,8 +468,13 @@ class BatchAnalyzer:
             for name, (hits, misses) in sorted(stats.merged_cache_stats().items()):
                 obs.metrics.counter(f"trajectory.{name}_cache_hits", hits)
                 obs.metrics.counter(f"trajectory.{name}_cache_misses", misses)
+                if ledger is not None:
+                    ledger.record_cache(name, hits, misses)
             self._export_pool_stats(obs, "trajectory", stats)
-            result.stats = obs.export()
+            exported = obs.export()
+            if ledger is not None:
+                exported["cost"] = ledger.to_dict()
+            result.stats = exported
         _LOG.debug(
             "batch trajectory done %s",
             kv(jobs=self.jobs, sweeps=sweeps, paths=len(result.paths)),

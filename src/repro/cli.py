@@ -69,6 +69,15 @@ in :func:`_obs_parent` so a new subcommand cannot ship without it
 ``--profile PATH``
     Dump cProfile stats of the whole command (top cumulative functions
     land in the run manifest).
+``--trace PATH``
+    Serialize the recorded phase spans as Chrome-trace JSON for
+    ``chrome://tracing`` / Perfetto; an existing file at PATH is
+    merged under fresh process lanes (cold/warm cache comparisons).
+
+The ``profile`` subcommand is the deterministic complement of
+``--profile``: it runs both analyzers with stats collection forced on
+and prints hot-spot reports from the cost ledger
+(:mod:`repro.obs.costmodel`) instead of wall-clock samples.
 
 Exit codes
 ----------
@@ -82,6 +91,7 @@ violations) · 2 usage error (argparse) · 3 configuration error
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
@@ -146,6 +156,7 @@ OBS_FLAG_DESTS = (
     "metrics_prom",
     "progress",
     "profile",
+    "trace",
 )
 
 
@@ -189,6 +200,14 @@ def _obs_parent() -> argparse.ArgumentParser:
         metavar="PATH",
         help="dump cProfile stats to PATH (top cumulative functions are "
         "recorded in the --metrics-json manifest)",
+    )
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write recorded phase spans as Chrome-trace JSON "
+        "(chrome://tracing / Perfetto); an existing trace file is "
+        "merged, so warm/cold runs land in one timeline",
     )
     return obs
 
@@ -239,6 +258,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify the configuration (afdx lint rules) before analyzing; "
         "errors fail with a one-line diagnostic instead of a deep analyzer "
         "error, a clean config's bounds are unchanged",
+    )
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        parents=[obs],
+        help="run both analyzers and print deterministic hot-spot reports",
+    )
+    profile_cmd.add_argument("config", help="configuration JSON file")
+    profile_cmd.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="rows per hot-port table (default: 10)",
+    )
+    profile_cmd.add_argument(
+        "--busy-share", type=float, default=5.0, metavar="PCT",
+        help="report paths whose busy-period share of the total exceeds "
+        "PCT%% (default: 5)",
+    )
+    profile_cmd.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report rendering (default: text)",
+    )
+    profile_cmd.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    profile_cmd.add_argument(
+        "--no-grouping", action="store_true", help="disable NC grouping"
+    )
+    profile_cmd.add_argument(
+        "--serialization",
+        choices=["paper", "windowed", "safe"],
+        default="windowed",
+        help="Trajectory serialization mode (default: windowed)",
+    )
+    profile_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = sequential, 0 = all cores); the "
+        "deterministic counter sections are identical for any N",
+    )
+    profile_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the content-addressed bound cache in DIR "
+        "(cache hits appear as explicit ledger entries)",
     )
 
     validate = sub.add_parser("validate", parents=[obs], help="check a configuration")
@@ -455,7 +517,12 @@ class _RunContext:
     def __init__(self, args: argparse.Namespace) -> None:
         self.metrics_path: Optional[str] = getattr(args, "metrics_json", None)
         self.prom_path: Optional[str] = getattr(args, "metrics_prom", None)
-        self.collect = self.metrics_path is not None or self.prom_path is not None
+        self.trace_path: Optional[str] = getattr(args, "trace", None)
+        self.collect = (
+            self.metrics_path is not None
+            or self.prom_path is not None
+            or self.trace_path is not None
+        )
         self.metrics = MetricsRegistry(enabled=self.collect)
         self.progress = (
             ProgressHook(_print_progress) if getattr(args, "progress", False) else None
@@ -561,6 +628,60 @@ def _cmd_analyze(args: argparse.Namespace, ctx: _RunContext) -> int:
         print(line)
     print()
     print(result.stats.as_table())
+    return EXIT_OK
+
+
+def _cmd_profile(args: argparse.Namespace, ctx: _RunContext) -> int:
+    """``afdx profile``: deterministic hot-spot reports for one config.
+
+    Stats collection is forced on — the profile *is* the stats
+    consumer — independent of the ``--metrics-json`` / ``--trace``
+    flags, which additionally persist what was collected.
+    """
+    from pathlib import Path
+
+    from repro.obs import build_profile_report, render_profile_report
+
+    network = network_from_json(args.config)
+    ctx.set_config(network, source=args.config)
+    batch = BatchAnalyzer(
+        network,
+        jobs=args.jobs,
+        grouping=not args.no_grouping,
+        serialization=args.serialization,
+        collect_stats=True,
+        progress=ctx.progress,
+        cache_dir=args.cache_dir,
+    )
+    nc = batch.network_calculus()
+    seed = (
+        seed_smax_from_netcalc(network, nc)
+        if batch.jobs > 1 and not args.no_grouping
+        else None
+    )
+    trajectory = batch.trajectory(smax_seed=seed)
+    ctx.analyzers = {"network_calculus": nc.stats, "trajectory": trajectory.stats}
+    if ctx.collect:
+        result = analyze_network(
+            network, nc_result=nc, trajectory_result=trajectory
+        )
+        ctx.bounds = bound_summary(result)
+    report = build_profile_report(
+        nc,
+        trajectory,
+        top=args.top,
+        busy_share_pct=args.busy_share,
+        config=network_identity(network),
+    )
+    if args.format == "json":
+        text = json.dumps(report, indent=2, sort_keys=True)
+    else:
+        text = render_profile_report(report)
+    if args.output is not None:
+        Path(args.output).write_text(text + "\n")
+        print(f"(profile report written to {args.output})", file=sys.stderr)
+    else:
+        print(text)
     return EXIT_OK
 
 
@@ -858,6 +979,7 @@ def _cmd_report(args: argparse.Namespace, ctx: _RunContext) -> int:
 
 _COMMANDS = {
     "analyze": _cmd_analyze,
+    "profile": _cmd_profile,
     "validate": _cmd_validate,
     "generate": _cmd_generate,
     "simulate": _cmd_simulate,
@@ -979,6 +1101,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"(prometheus metrics written to {ctx.prom_path})", file=sys.stderr
         )
+    if ctx.trace_path is not None:
+        from pathlib import Path
+
+        from repro.obs import (
+            build_chrome_trace,
+            load_chrome_trace,
+            merge_chrome_trace,
+            write_chrome_trace,
+        )
+
+        try:
+            target = Path(ctx.trace_path)
+            base = load_chrome_trace(target) if target.exists() else None
+            run_index = (
+                len(base.get("otherData", {}).get("runs", [])) + 1
+                if base is not None
+                else 1
+            )
+            doc = build_chrome_trace(
+                ctx.analyzers, label=f"run{run_index}:{args.command}"
+            )
+            if base is not None:
+                doc = merge_chrome_trace(base, doc)
+            write_chrome_trace(target, doc)
+        except (OSError, ValueError) as exc:
+            print(f"afdx: error: cannot write trace: {exc}", file=sys.stderr)
+            return code if code != EXIT_OK else EXIT_FAILURE
+        print(f"(trace written to {ctx.trace_path})", file=sys.stderr)
     return code
 
 

@@ -10,7 +10,11 @@ values, namespaced by what they are:
 * ``"nc.result"`` / ``"traj.result"`` — a whole analysis keyed by the
   network fingerprint, so re-analyzing a configuration the cache has
   already seen (an identical what-if re-query, a warm ``--cache-dir``)
-  costs one fingerprint plus one lookup.
+  costs one fingerprint plus one lookup;
+* ``"traj.cost"`` — the deterministic sections of the trajectory's
+  :class:`~repro.obs.costmodel.CostLedger`, stored next to
+  ``"traj.result"`` so a warm hit reports the same work counters as
+  the cold run that produced it.
 
 Cached results are stored without their ``stats`` snapshot (counters
 are run-specific observability, not bounds) and returned as shallow
@@ -41,6 +45,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.netcalc.results import NetworkCalculusResult, PathBound, PortAnalysis
+from repro.obs.costmodel import CostLedger
 from repro.trajectory.results import TrajectoryPathBound, TrajectoryResult
 
 __all__ = ["BoundCache", "default_cache"]
@@ -293,6 +298,8 @@ def _encode(value: object) -> Dict[str, object]:
                 for (_vl, port), bound in value.items()
             ],
         }
+    if isinstance(value, CostLedger):
+        return {"kind": "cost_ledger", "cost": value.to_dict()}
     raise TypeError(f"BoundCache cannot persist values of type {type(value)!r}")
 
 
@@ -331,6 +338,8 @@ def _decode(payload: Dict[str, object]) -> object:
             bound = _decode_trajectory_bound(entry)
             out[(bound.vl_name, tuple(entry["key_port"]))] = bound
         return out
+    if kind == "cost_ledger":
+        return CostLedger.from_dict(payload["cost"])
     raise ValueError(f"unknown cache entry kind {kind!r}")
 
 

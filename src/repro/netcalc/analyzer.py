@@ -33,6 +33,7 @@ from repro.network.port import PortId
 from repro.network.port_graph import topological_port_order
 from repro.network.topology import Network
 from repro.network.validation import check_network
+from repro.obs.costmodel import netcalc_cost_ledger
 from repro.obs.instrument import OFF, Instrumentation
 from repro.obs.logging import get_logger, kv
 
@@ -278,7 +279,15 @@ class NetworkCalculusAnalyzer:
                 )
                 if obs.enabled:
                     obs.metrics.counter("netcalc.result_cache_hit", 1)
-                    result.stats = obs.export()
+                    # the ledger is a pure function of the (cached)
+                    # result, so cache-served runs get identical
+                    # deterministic sections for free; the hit itself
+                    # is an explicit cache entry
+                    ledger = netcalc_cost_ledger(result)
+                    ledger.record_cache("result", 1, 0)
+                    stats = obs.export()
+                    stats["cost"] = ledger.to_dict()
+                    result.stats = stats
                 _LOG.debug(
                     "netcalc result cache hit %s", kv(paths=len(result.paths))
                 )
@@ -371,7 +380,14 @@ class NetworkCalculusAnalyzer:
                 self._attach_provenance(result)
         if collect:
             obs.metrics.counter("netcalc.paths_bound", len(result.paths))
-            result.stats = obs.export()
+            ledger = netcalc_cost_ledger(result)
+            if cache is not None:
+                ledger.record_cache("port", cache_hits, cache_misses)
+            if result_cache is not None:
+                ledger.record_cache("result", 0, 1)
+            stats = obs.export()
+            stats["cost"] = ledger.to_dict()
+            result.stats = stats
         _LOG.debug(
             "netcalc done %s",
             kv(ports=len(order), paths=len(result.paths), grouping=self.grouping),

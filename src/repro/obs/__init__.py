@@ -16,9 +16,29 @@ simulator.  Everything is opt-in and zero-overhead when disabled:
 * :mod:`repro.obs.prometheus` — textfile-collector exposition of
   metrics snapshots (the CLI's ``--metrics-prom``);
 * :mod:`repro.obs.provenance` — bit-exact additive bound
-  decompositions (the substrate of :mod:`repro.explain`).
+  decompositions (the substrate of :mod:`repro.explain`);
+* :mod:`repro.obs.costmodel` — deterministic work counters (the
+  :class:`~repro.obs.costmodel.CostLedger` attached to ``.stats``);
+* :mod:`repro.obs.tracefile` — Chrome-trace / Perfetto export of
+  recorded spans (the CLI's ``--trace``);
+* :mod:`repro.obs.hotspots` — the ``afdx profile`` hot-spot reports.
 """
 
+from repro.obs.costmodel import (
+    COST_SCHEMA_VERSION,
+    CostLedger,
+    deterministic_section,
+    netcalc_cost_ledger,
+    port_label,
+    record_trajectory_sweep,
+    trajectory_result_work,
+    work_summary,
+)
+from repro.obs.hotspots import (
+    PROFILE_SCHEMA_VERSION,
+    build_profile_report,
+    render_profile_report,
+)
 from repro.obs.instrument import OFF, Instrumentation
 from repro.obs.logging import configure, get_logger
 from repro.obs.manifest import (
@@ -35,8 +55,33 @@ from repro.obs.prometheus import (
     write_prometheus,
 )
 from repro.obs.trace import NULL_TRACER, ProgressHook, Span, Tracer
+from repro.obs.tracefile import (
+    build_chrome_trace,
+    load_chrome_trace,
+    merge_chrome_trace,
+    strip_wall_fields,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
+    "COST_SCHEMA_VERSION",
+    "CostLedger",
+    "deterministic_section",
+    "netcalc_cost_ledger",
+    "port_label",
+    "record_trajectory_sweep",
+    "trajectory_result_work",
+    "work_summary",
+    "PROFILE_SCHEMA_VERSION",
+    "build_profile_report",
+    "render_profile_report",
+    "build_chrome_trace",
+    "load_chrome_trace",
+    "merge_chrome_trace",
+    "strip_wall_fields",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "configure",
     "get_logger",
     "MetricsRegistry",

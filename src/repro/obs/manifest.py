@@ -117,10 +117,32 @@ def build_manifest(
 
 
 def write_manifest(manifest: Dict[str, object], path: Union[str, Path]) -> Path:
-    """Validate and write a manifest as pretty-printed JSON."""
+    """Validate and write a manifest as pretty-printed JSON.
+
+    The write is atomic (temp file + ``os.replace``), like the
+    Prometheus textfile and trace exports: a dashboard or follow-up
+    tool reading the manifest mid-write sees the previous complete
+    version, never a truncated one.
+    """
+    import os
+    import tempfile
+
     validate_manifest(manifest)
     target = Path(path)
-    target.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    payload = json.dumps(manifest, indent=2, sort_keys=False) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=str(target.parent) or ".", suffix=".tmp", prefix=target.name
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, target)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return target
 
 

@@ -13,12 +13,15 @@ from typing import Dict, Optional, Tuple
 
 from repro.network.port import PortId
 from repro.network.topology import Network
+from repro.obs.logging import get_logger, kv
 from repro.sim.engine import Simulator
 from repro.sim.frames import Frame
 from repro.sim.ports import SimOutputPort
 from repro.sim.tracer import DelayTracer, SimulationResult
 
 __all__ = ["NetworkSimulation"]
+
+_LOG = get_logger("sim")
 
 
 class NetworkSimulation:
@@ -132,11 +135,37 @@ class NetworkSimulation:
 
     def run(self, until_us: float) -> SimulationResult:
         """Drive the event loop to ``until_us`` and collect results."""
+        _LOG.info(
+            "run start %s",
+            kv(
+                until_us=until_us,
+                ports=len(self._ports),
+                vls=len(self.network.virtual_links),
+            ),
+        )
         self.simulator.run(until_us)
+        peaks = {
+            pid: port.peak_backlog_bits for pid, port in self._ports.items()
+        }
+        if _LOG.isEnabledFor(10):  # DEBUG: one high-water line per queue
+            for pid in sorted(peaks):
+                _LOG.debug(
+                    "queue high-water %s",
+                    kv(port="->".join(pid), peak_backlog_bits=peaks[pid]),
+                )
+        paths = self.tracer.stats()
+        worst_us = max((stats.max_us for stats in paths.values()), default=0.0)
+        _LOG.info(
+            "run finish %s",
+            kv(
+                events=self.simulator.processed_events,
+                paths=len(paths),
+                worst_observed_us=worst_us,
+                peak_backlog_bits=max(peaks.values(), default=0.0),
+            ),
+        )
         return SimulationResult(
             duration_us=until_us,
-            paths=self.tracer.stats(),
-            peak_backlog_bits={
-                pid: port.peak_backlog_bits for pid, port in self._ports.items()
-            },
+            paths=paths,
+            peak_backlog_bits=peaks,
         )

@@ -50,6 +50,7 @@ from repro.network.port import PortId
 from repro.network.port_graph import topological_port_order
 from repro.network.topology import Network
 from repro.network.validation import check_network
+from repro.obs.costmodel import CostLedger, record_trajectory_sweep
 from repro.obs.instrument import Instrumentation
 from repro.obs.logging import get_logger, kv
 from repro.trajectory.busy_period import busy_period_bound, interference_count
@@ -260,7 +261,19 @@ class TrajectoryAnalyzer:
                 )
                 if collect:
                     obs.metrics.counter("trajectory.result_cache_hit", 1)
-                    result.stats = obs.export()
+                    # the deterministic ledger sections travel with the
+                    # cached result; the hit itself is recorded as an
+                    # explicit cache entry, never silently absent
+                    cached_cost = result_cache.get("traj.cost", result_fp)
+                    ledger = (
+                        cached_cost.snapshot()
+                        if isinstance(cached_cost, CostLedger)
+                        else CostLedger("trajectory")
+                    )
+                    ledger.record_cache("result", 1, 0)
+                    stats = obs.export()
+                    stats["cost"] = ledger.to_dict()
+                    result.stats = stats
                 _LOG.debug(
                     "trajectory result cache hit %s", kv(paths=len(result.paths))
                 )
@@ -272,6 +285,15 @@ class TrajectoryAnalyzer:
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
         sweeps = 0
         sweep_trace: List[Dict[str, object]] = []
+        # integer sums over the sweep's own bounds: cheap, and computed
+        # whenever either a stats consumer or the result cache needs it
+        # (a cold stats-off run must still persist the ledger so a warm
+        # stats-on run reads identical deterministic sections)
+        ledger = (
+            CostLedger("trajectory")
+            if collect or result_cache is not None
+            else None
+        )
         for _ in range(self.max_refinements):
             with obs.tracer.span("trajectory.sweep", sweep=sweeps + 1) as span:
                 if self.explain:
@@ -286,6 +308,10 @@ class TrajectoryAnalyzer:
                 if self.refine_smax:
                     smax_updates, max_delta = self.tighten_smax(bounds)
                     stable = not smax_updates
+                if ledger is not None:
+                    record_trajectory_sweep(
+                        ledger, bounds, smax_updates=len(smax_updates)
+                    )
                 if collect:
                     span.attrs.update(smax_updates=len(smax_updates))
                     sweep_trace.append(
@@ -307,6 +333,8 @@ class TrajectoryAnalyzer:
                 break
 
         result = self.build_result(bounds, sweeps)
+        if ledger is not None:
+            ledger.add_work("paths_bound", len(result.paths))
         if self.explain:
             self._explain_bounds = bounds
             with obs.tracer.span("trajectory.explain"):
@@ -321,6 +349,15 @@ class TrajectoryAnalyzer:
                     paths=dict(result.paths),
                 ),
             )
+            # snapshot: deterministic sections only, so a warm hit can
+            # reconstruct them byte-identically while recording its own
+            # cache tallies
+            result_cache.put("traj.cost", result_fp, ledger.snapshot())
+        if ledger is not None:
+            for name, (hits, misses) in sorted(self.cache_stats().items()):
+                ledger.record_cache(name, hits, misses)
+            if result_cache is not None:
+                ledger.record_cache("result", 0, 1)
         if collect:
             obs.metrics.counter("trajectory.sweeps", sweeps)
             obs.metrics.counter("trajectory.tree_ports_visited", sweeps * len(bounds))
@@ -340,6 +377,7 @@ class TrajectoryAnalyzer:
                 obs.metrics.counter(f"trajectory.{name}_cache_misses", misses)
             stats = obs.export()
             stats["sweeps"] = sweep_trace
+            stats["cost"] = ledger.to_dict()
             result.stats = stats
         _LOG.debug(
             "trajectory done %s",

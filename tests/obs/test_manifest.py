@@ -130,6 +130,25 @@ def test_explain_gauges_round_trip(tmp_path):
     assert loaded["metrics"]["gauges"] == metrics["gauges"]
 
 
+def test_write_manifest_is_atomic(tmp_path):
+    # tmp + os.replace: a crash mid-write can never leave a truncated
+    # manifest behind, and no temp litter survives a successful write
+    path = tmp_path / "manifest.json"
+    write_manifest(minimal_manifest(), path)
+    assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+    validate_manifest(json.loads(path.read_text()))
+
+
+def test_write_manifest_invalid_preserves_existing_file(tmp_path):
+    path = tmp_path / "manifest.json"
+    write_manifest(minimal_manifest(), path)
+    before = path.read_text()
+    with pytest.raises(ValueError):
+        write_manifest({"manifest_version": "nope"}, path)
+    assert path.read_text() == before  # validation runs before the write
+    assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
+
 def test_whatif_gauges_round_trip(tmp_path):
     metrics = {
         "counters": {"cache.hit.nc.port": 12},

@@ -94,8 +94,11 @@ class TestRender:
 class TestWrite:
     def test_writes_atomically(self, tmp_path):
         target = tmp_path / "metrics.prom"
-        write_prometheus(target, registry_samples(snapshot()))
-        assert target.read_text() == render_prometheus(registry_samples(snapshot()))
+        # one sample set: a second snapshot() would re-time the timer
+        # block and render different wall-clock digits
+        samples = registry_samples(snapshot())
+        write_prometheus(target, samples)
+        assert target.read_text() == render_prometheus(samples)
         # no temp file left behind
         assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
 

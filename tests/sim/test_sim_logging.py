@@ -1,0 +1,52 @@
+"""Structured diagnostics of the simulation run (the repro.sim logger)."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import ROOT_LOGGER_NAME, configure
+from repro.sim import NetworkSimulation
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    yield
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.handlers.clear()
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+def _run(network, level):
+    stream = io.StringIO()
+    configure(level, stream=stream)
+    sim = NetworkSimulation(network)
+    sim.release_frame("v1", time_us=0.0)
+    sim.run(until_us=1000.0)
+    return stream.getvalue()
+
+
+def test_info_reports_run_start_and_finish(fig2):
+    text = _run(fig2, "INFO")
+    assert "repro.sim" in text
+    assert "run start" in text and "until_us=1000.0" in text
+    assert "run finish" in text and "events=" in text
+    assert "worst_observed_us=" in text
+    # queue details are debug-only
+    assert "queue high-water" not in text
+
+
+def test_debug_adds_per_queue_high_water_marks(fig2):
+    text = _run(fig2, "DEBUG")
+    assert "queue high-water" in text
+    assert "peak_backlog_bits=" in text
+    assert "->" in text  # port ids rendered as src->dst labels
+
+
+def test_silent_when_unconfigured(fig2, capsys):
+    sim = NetworkSimulation(fig2)
+    sim.release_frame("v1", time_us=0.0)
+    sim.run(until_us=1000.0)
+    captured = capsys.readouterr()
+    assert "run start" not in captured.err + captured.out

@@ -42,6 +42,33 @@ class TestFlatten:
         assert flat == {"runs[0].t_s": 1.0}
 
 
+class TestFlattenWork:
+    def test_only_work_subtree_counts(self):
+        record = {
+            "cold_s": 1.5,
+            "n_paths": 626,  # integer outside work: ignored
+            "work": {"trajectory": {"sweeps": 4, "paths_bound": 8}},
+        }
+        flat = dict(bench_gate.flatten_work(record))
+        assert flat == {
+            "work.trajectory.sweeps": 4,
+            "work.trajectory.paths_bound": 8,
+        }
+
+    def test_work_inside_discriminated_list(self):
+        record = {
+            "points": [
+                {"n_virtual_links": 100, "work": {"nc": {"flow_folds": 7}}},
+            ]
+        }
+        flat = dict(bench_gate.flatten_work(record))
+        assert flat == {"points[n_virtual_links=100].work.nc.flow_folds": 7}
+
+    def test_floats_and_bools_in_work_ignored(self):
+        record = {"work": {"ratio": 1.5, "flag": True, "count": 3}}
+        assert dict(bench_gate.flatten_work(record)) == {"work.count": 3}
+
+
 class TestCompare:
     def _compare(self, base, now, **kw):
         kw.setdefault("tolerance", 0.30)
@@ -75,6 +102,19 @@ class TestCompare:
             ("B.json", "old_s"): "missing",
             ("B.json", "new_s"): "new",
         }
+
+    def test_work_counters_compared_exactly(self):
+        key = "work.trajectory.sweeps"
+        assert self._compare({key: 4}, {key: 4}) == {("B.json", key): "ok"}
+        # one extra unit of work is a regression — no ±30% tolerance
+        assert self._compare({key: 4}, {key: 5}) == {("B.json", key): "more-work"}
+        assert self._compare({key: 4}, {key: 3}) == {("B.json", key): "less-work"}
+
+    def test_work_counters_ignore_noise_floor(self):
+        # tiny counts still compare exactly (the floor is for seconds)
+        key = "work.nc.flow_folds"
+        got = self._compare({key: 1}, {key: 2}, min_seconds=10.0)
+        assert got == {("B.json", key): "more-work"}
 
 
 class TestMain:
@@ -114,3 +154,27 @@ class TestMain:
         args = self._setup(tmp_path, {"cold_s": 1.0})
         assert bench_gate.main(args) == 0
         assert "no baselines" in capsys.readouterr().out
+
+    def test_update_baselines_includes_work_counters(self, tmp_path):
+        record = {"cold_s": 1.0, "work": {"tr": {"sweeps": 4}}}
+        args = self._setup(tmp_path, record)
+        assert bench_gate.main(args + ["--update-baselines"]) == 0
+        doc = json.loads((tmp_path / "baselines.json").read_text())
+        assert doc == {
+            "BENCH_x.json": {"cold_s": 1.0, "work.tr.sweeps": 4}
+        }
+
+    def test_strict_fails_on_more_work(self, tmp_path, capsys):
+        latest = {"cold_s": 1.0, "work": {"tr": {"sweeps": 5}}}
+        base = {"cold_s": 1.0, "work.tr.sweeps": 4}
+        args = self._setup(tmp_path, latest, baselines=base)
+        assert bench_gate.main(args + ["--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "more-work" in out and "FAIL" in out
+
+    def test_less_work_is_never_fatal(self, tmp_path, capsys):
+        latest = {"cold_s": 1.0, "work": {"tr": {"sweeps": 3}}}
+        base = {"cold_s": 1.0, "work.tr.sweeps": 4}
+        args = self._setup(tmp_path, latest, baselines=base)
+        assert bench_gate.main(args + ["--strict"]) == 0
+        assert "less-work" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Benchmark telemetry stamping and rotation (benchmarks/_telemetry.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "_telemetry",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "_telemetry.py",
+)
+telemetry = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(telemetry)
+
+
+class TestAppendRecord:
+    def test_stamps_schema_timestamp_and_git_rev(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        record = telemetry.append_record(path, {"cold_s": 1.0})
+        assert record["bench_schema"] == telemetry.BENCH_SCHEMA_VERSION == 2
+        assert record["cold_s"] == 1.0
+        assert "T" in record["timestamp"]  # ISO-8601 UTC
+        assert "git_rev" in record  # short hash, or None outside a checkout
+        (stored,) = json.loads(path.read_text())
+        assert stored == record
+
+    def test_appends_to_existing_history(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        telemetry.append_record(path, {"n": 1})
+        telemetry.append_record(path, {"n": 2})
+        history = json.loads(path.read_text())
+        assert [r["n"] for r in history] == [1, 2]
+
+    def test_explicit_stamps_in_record_win(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        record = telemetry.append_record(path, {"timestamp": "frozen"})
+        assert record["timestamp"] == "frozen"
+
+    def test_corrupt_history_is_replaced_not_fatal(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("not json")
+        telemetry.append_record(path, {"n": 1})
+        history = json.loads(path.read_text())
+        assert len(history) == 1
+
+
+class TestRotation:
+    def test_keep_bounds_history(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        for n in range(6):
+            telemetry.append_record(path, {"n": n}, keep=3)
+        history = json.loads(path.read_text())
+        assert [r["n"] for r in history] == [3, 4, 5]  # newest survive
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("AFDX_BENCH_KEEP", "2")
+        path = tmp_path / "BENCH_x.json"
+        for n in range(4):
+            telemetry.append_record(path, {"n": n})
+        assert [r["n"] for r in json.loads(path.read_text())] == [2, 3]
+
+    def test_resolve_keep_precedence(self, monkeypatch):
+        monkeypatch.delenv("AFDX_BENCH_KEEP", raising=False)
+        assert telemetry.resolve_keep(None) == telemetry.DEFAULT_KEEP == 50
+        assert telemetry.resolve_keep(7) == 7
+        monkeypatch.setenv("AFDX_BENCH_KEEP", "12")
+        assert telemetry.resolve_keep(None) == 12
+        assert telemetry.resolve_keep(7) == 7  # explicit arg beats env
+        assert telemetry.resolve_keep(0) == 1  # floored at one record
+
+    def test_bad_env_value_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("AFDX_BENCH_KEEP", "many")
+        assert telemetry.resolve_keep(None) == telemetry.DEFAULT_KEEP

@@ -354,3 +354,89 @@ def test_metrics_prom_unwritable_path_fails(fig2_json, tmp_path, capsys):
     prom = tmp_path / "missing-dir" / "metrics.prom"
     assert main(["analyze", fig2_json, "--metrics-prom", str(prom)]) == 1
     assert "cannot write prometheus" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# afdx profile and --trace (the performance observatory)
+# ----------------------------------------------------------------------
+
+
+def test_profile_text_report_lists_hot_ports(fig2_json, capsys):
+    assert main(["profile", fig2_json]) == 0
+    out = capsys.readouterr().out
+    assert "deterministic work counters:" in out
+    assert "top 10 ports by candidate evaluations (trajectory):" in out
+    assert "sweep convergence cost curve:" in out
+    assert "->" in out  # at least one port label ranked
+
+
+def test_profile_top_flag_limits_ranking(fig2_json, capsys):
+    assert main(["profile", fig2_json, "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "top 2 ports by candidate evaluations (trajectory):" in out
+    hot_section = out.split("candidate evaluations (trajectory):")[1]
+    hot_section = hot_section.split("top 2 ports by flow folds")[0]
+    ranked = [line for line in hot_section.splitlines() if "->" in line]
+    assert len(ranked) <= 2
+
+
+def test_profile_json_report_schema(fig2_json, tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    assert (
+        main(["profile", fig2_json, "--format", "json", "-o", str(out_path)]) == 0
+    )
+    report = json.loads(out_path.read_text())
+    assert report["profile_schema"] == 1
+    det = report["deterministic"]
+    assert det["work"]["network_calculus"]["ports_analyzed"] > 0
+    assert det["work"]["trajectory"]["sweeps"] >= 1
+    assert det["hot_ports"]
+    assert det["sweep_cost_curve"]
+    assert report["config"]["name"] == "fig2"
+    assert "profile report written to" in capsys.readouterr().err
+
+
+def test_profile_deterministic_section_stable_across_runs(fig2_json, capsys):
+    canon = []
+    for _ in range(2):
+        assert main(["profile", fig2_json, "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        canon.append(json.dumps(report["deterministic"], sort_keys=True))
+    assert canon[0] == canon[1]
+
+
+def test_trace_flag_writes_valid_chrome_trace(fig2_json, tmp_path):
+    from repro.obs import load_chrome_trace
+
+    trace = tmp_path / "trace.json"
+    assert main(["analyze", fig2_json, "--trace", str(trace)]) == 0
+    doc = load_chrome_trace(trace)  # validates or raises
+    spans = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+    assert spans
+    assert doc["otherData"]["runs"] == ["run1:analyze"]
+
+
+def test_trace_flag_merges_across_runs(fig2_json, tmp_path):
+    from repro.obs import load_chrome_trace
+
+    trace = tmp_path / "trace.json"
+    assert main(["analyze", fig2_json, "--trace", str(trace)]) == 0
+    assert main(["profile", fig2_json, "--trace", str(trace)]) == 0
+    doc = load_chrome_trace(trace)
+    assert doc["otherData"]["runs"] == ["run1:analyze", "run2:profile"]
+    pids = {ev["pid"] for ev in doc["traceEvents"]}
+    assert len(pids) == 4  # two analyzers per run, fresh lanes per run
+
+
+def test_trace_unwritable_path_fails(fig2_json, tmp_path, capsys):
+    trace = tmp_path / "missing-dir" / "trace.json"
+    assert main(["analyze", fig2_json, "--trace", str(trace)]) == 1
+    assert "cannot write trace" in capsys.readouterr().err
+
+
+def test_trace_does_not_change_bounds(fig2_json, tmp_path, capsys):
+    assert main(["analyze", fig2_json]) == 0
+    plain = capsys.readouterr().out
+    assert main(["analyze", fig2_json, "--trace", str(tmp_path / "t.json")]) == 0
+    traced = capsys.readouterr().out
+    assert plain == traced  # the notice goes to stderr, bounds unchanged
