@@ -6,7 +6,7 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
 .PHONY: check test lint bench bench-batch bench-scaling bench-incremental \
-	bench-explain bench-gate bench-baselines profile-smoke
+	bench-explain bench-gate bench-baselines profile-smoke kernel-gate
 
 check:
 	sh scripts/check.sh
@@ -55,3 +55,8 @@ bench-baselines:
 # a byte-identical deterministic section across runs and --jobs.
 profile-smoke:
 	python scripts/profile_smoke.py
+
+# Trajectory kernel equivalence: fast vs reference bounds bit-identical
+# on every scenario, across --jobs and cold/warm incremental cache.
+kernel-gate:
+	python scripts/kernel_gate.py

@@ -26,7 +26,10 @@ embeds — candidate evaluations, flow folds, sweeps) are compared
 **exactly**: they are bit-identical across machines, hash seeds and
 job counts, so there is no ±30% noise floor — any difference is a real
 algorithmic change.  Statuses: ``ok`` (equal) / ``more-work`` /
-``less-work`` / ``new`` / ``missing``.
+``less-work`` / ``new`` / ``missing``.  Only ``more-work`` is a
+regression; ``less-work`` is *informational* — it means an intentional
+optimization landed (the kernel gate already proved the bounds did not
+move) and the baselines want a ``--update-baselines`` refresh.
 
 The gate is advisory by default (always exits 0, prints the table) so a
 noisy CI machine cannot block a merge; ``--strict`` makes ``slower``
@@ -269,6 +272,11 @@ def main(argv=None) -> int:
         f"bench-gate: {summary} "
         f"(tolerance ±{args.tolerance:.0%}; work counters exact)"
     )
+    if counts.get("less-work"):
+        print(
+            "bench-gate: less-work is informational (intentional optimization; "
+            "refresh with --update-baselines)"
+        )
     if counts.get("slower") or counts.get("more-work"):
         if args.strict:
             print("bench-gate: FAIL (--strict and regressions present)")

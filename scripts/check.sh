@@ -32,6 +32,9 @@ python -m pytest -x -q \
 echo "== incremental equivalence (30-edit replay vs cold, jobs=2, warm cache dir) =="
 python scripts/incremental_gate.py
 
+echo "== kernel equivalence (fast vs reference, bit-identical across jobs + cache) =="
+python scripts/kernel_gate.py
+
 echo "== profile smoke (afdx profile on fig1; traces valid; ledger byte-identical) =="
 python scripts/profile_smoke.py
 

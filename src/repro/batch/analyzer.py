@@ -80,6 +80,7 @@ class _Payload:
     smax_seed: Optional[Dict[FlowPortKey, float]] = None
     incremental: bool = False
     cache_dir: Optional[str] = None
+    trajectory_kernel: Optional[str] = None
 
 
 def _worker_cache(payload: _Payload):
@@ -139,6 +140,7 @@ def _build_trajectory_analyzer(payload: _Payload) -> TrajectoryAnalyzer:
         refine_smax=False,
         incremental=payload.incremental,
         cache=_worker_cache(payload),
+        kernel=payload.trajectory_kernel,
     )
     analyzer.prepare(smax_seed=payload.smax_seed)
     return analyzer
@@ -221,8 +223,9 @@ class BatchAnalyzer:
         ``0`` means one worker per CPU core.
     grouping / frame_overhead_bytes:
         Forwarded to the Network Calculus analyzer.
-    serialization / refine_smax / max_refinements:
-        Forwarded to the Trajectory analyzer.
+    serialization / refine_smax / max_refinements / trajectory_kernel:
+        Forwarded to the Trajectory analyzer (coordinator and every
+        worker; bounds are bit-identical for either kernel).
     collect_stats / progress:
         Observability (:mod:`repro.obs`): when enabled, worker
         utilization, chunk counts and per-worker cache hit-rates land
@@ -256,6 +259,7 @@ class BatchAnalyzer:
         incremental: bool = False,
         cache_dir: Optional[str] = None,
         explain: bool = False,
+        trajectory_kernel: Optional[str] = None,
     ) -> None:
         self.network = network
         self.jobs = resolve_jobs(jobs)
@@ -265,6 +269,7 @@ class BatchAnalyzer:
         self.refine_smax = refine_smax
         self.max_refinements = max_refinements
         self.explain = explain
+        self.trajectory_kernel = trajectory_kernel
         self.collect_stats = collect_stats
         self._progress = progress
         self.incremental = incremental or cache_dir is not None
@@ -389,6 +394,7 @@ class BatchAnalyzer:
                 incremental=self.incremental,
                 cache=self._cache,
                 explain=self.explain,
+                kernel=self.trajectory_kernel,
             )
         network = self.network
         obs = Instrumentation.create(self.collect_stats, self._progress)
@@ -397,6 +403,7 @@ class BatchAnalyzer:
             serialization=self.serialization,
             refine_smax=self.refine_smax,
             max_refinements=self.max_refinements,
+            kernel=self.trajectory_kernel,
         )
         coordinator.prepare(smax_seed=smax_seed)
         # same walk order as the sequential sweep; chunked contiguously
@@ -408,6 +415,7 @@ class BatchAnalyzer:
             smax_seed=coordinator.smax_snapshot(),
             incremental=self.incremental,
             cache_dir=self.cache_dir,
+            trajectory_kernel=self.trajectory_kernel,
         )
         cumulative: Dict[FlowPortKey, float] = {}
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
@@ -496,6 +504,7 @@ class BatchAnalyzer:
                 collect_stats=self.collect_stats,
                 progress=self._progress,
                 explain=self.explain,
+                trajectory_kernel=self.trajectory_kernel,
             )
         nc_result = self.network_calculus()
         # the sequential path seeds Smax from a grouping=True NC run;

@@ -237,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="Trajectory serialization mode (default: windowed)",
     )
     analyze.add_argument(
+        "--trajectory-kernel",
+        choices=["fast", "reference"],
+        default="fast",
+        help="trajectory sweep implementation (bit-identical bounds; "
+        "default: fast)",
+    )
+    analyze.add_argument(
         "--top", type=int, default=0, help="print only the N largest combined bounds"
     )
     analyze.add_argument(
@@ -291,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["paper", "windowed", "safe"],
         default="windowed",
         help="Trajectory serialization mode (default: windowed)",
+    )
+    profile_cmd.add_argument(
+        "--trajectory-kernel",
+        choices=["fast", "reference"],
+        default="fast",
+        help="trajectory sweep implementation (bit-identical bounds; "
+        "default: fast)",
     )
     profile_cmd.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -413,6 +427,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="Trajectory serialization mode (default: windowed)",
     )
     whatif.add_argument(
+        "--trajectory-kernel",
+        choices=["fast", "reference"],
+        default="fast",
+        help="trajectory sweep implementation (bit-identical bounds; "
+        "default: fast)",
+    )
+    whatif.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist the bound cache in DIR so repeated what-ifs on the "
         "same base configuration skip the cold run's recomputation",
@@ -454,6 +475,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["paper", "windowed", "safe"],
         default="windowed",
         help="Trajectory serialization mode (default: windowed)",
+    )
+    explain.add_argument(
+        "--trajectory-kernel",
+        choices=["fast", "reference"],
+        default="fast",
+        help="trajectory sweep implementation (bit-identical bounds; "
+        "default: fast)",
     )
     explain.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -594,6 +622,7 @@ def _cmd_analyze(args: argparse.Namespace, ctx: _RunContext) -> int:
         collect_stats=ctx.collect,
         progress=ctx.progress,
         cache_dir=args.cache_dir,
+        trajectory_kernel=args.trajectory_kernel,
     )
     nc = batch.network_calculus()
     # with workers, reuse the NC result as the trajectory's Smax seed
@@ -652,6 +681,7 @@ def _cmd_profile(args: argparse.Namespace, ctx: _RunContext) -> int:
         collect_stats=True,
         progress=ctx.progress,
         cache_dir=args.cache_dir,
+        trajectory_kernel=args.trajectory_kernel,
     )
     nc = batch.network_calculus()
     seed = (
@@ -810,6 +840,7 @@ def _cmd_whatif(args: argparse.Namespace, ctx: _RunContext) -> int:
         serialization=args.serialization,
         collect_stats=ctx.collect,
         progress=ctx.progress,
+        trajectory_kernel=args.trajectory_kernel,
     )
     engine.analyze_base()
     delta = engine.apply(edits)
@@ -862,6 +893,7 @@ def _cmd_explain(args: argparse.Namespace, ctx: _RunContext) -> int:
         cache_dir=args.cache_dir,
         collect_stats=ctx.collect,
         progress=ctx.progress,
+        trajectory_kernel=args.trajectory_kernel,
     )
     text = render_explanation(
         explanation,

@@ -37,6 +37,28 @@ jump events incrementally (with rollback on backtrack), so the cost per
 tree port is proportional to the *new* competitors met there rather
 than to the whole competitor set — this is what keeps the ~1000-VL
 industrial configuration tractable in seconds.
+
+Two interchangeable kernels execute that walk (``kernel=`` parameter):
+
+``"fast"`` (the default)
+    Flat per-port competitor tables (parallel ``(C, T, Smin, Smax)``
+    arrays over each port's sorted members) replace the per-candidate
+    dict walks and attribute-property chains; the meeting structure is
+    resolved once per ``(VL, port)`` into member *indices*; finished
+    walks are memoized across sweeps keyed by the packed ``Smax``
+    slices they read (``repro.incremental``'s content-addressed
+    packing), so a converged region is never re-walked; and the
+    candidate scan prunes provably dominated instants
+    (:meth:`TrajectoryAnalyzer._maximize_fast`).
+
+``"reference"``
+    The original dict-based walk, kept verbatim as the control.
+
+Both kernels replay the exact same floating-point operation sequence
+for every bound they emit, so their results are **bit-identical** —
+``scripts/kernel_gate.py`` enforces this on every ``make check``; only
+``n_candidates`` may differ (the fast kernel evaluates fewer, see
+``docs/PERFORMANCE.md`` for the dominance proof).
 """
 
 from __future__ import annotations
@@ -44,6 +66,8 @@ from __future__ import annotations
 import hashlib
 import math
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.netcalc.analyzer import analyze_network_calculus
 from repro.network.port import PortId
@@ -68,6 +92,69 @@ __all__ = ["TrajectoryAnalyzer", "analyze_trajectory"]
 _LOG = get_logger("trajectory")
 
 _EPS = 1e-6
+
+#: fast kernel: smallest per-port competitor batch worth the numpy
+#: dispatch overhead; smaller batches run the scalar fold loop (both
+#: paths compute the same floats, so the threshold is purely a tuning
+#: knob, not a semantics switch)
+_VEC_MIN = 16
+
+#: boundary tolerance of the `interference_count` fast path (one part
+#: in 2^50 of the quotient — 8x the worst-case division error)
+_BOUNDARY_TOL = 2.0 ** -50
+
+
+def _batch_fold(
+    c: "np.ndarray", period: "np.ndarray", offset: "np.ndarray", horizon: float
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Vector twin of the scalar per-competitor fold (fast kernel).
+
+    ``bases[i]`` is bit-identical to
+    ``interference_count(0.0, offset[i], period[i]) * c[i]``: every
+    operation is the same IEEE-754 double operation the scalar code
+    performs, executed elementwise (numpy ufuncs round each element
+    independently — there is no re-association to drift on).  Elements
+    near a period boundary fall back to the exact scalar counter, just
+    like the scalar fast path does.
+
+    ``maybe`` lists the positions whose first counter jump
+    ``fl((offset // period + 1) * period - offset)`` — the exact float
+    the scalar event loop tests first — lands inside the busy period.
+    Only those flows can contribute candidate events; callers fold them
+    through the exact `_flow_events` path.  On avionics-shaped
+    configurations (BAG orders of magnitude above the busy period) the
+    list is almost always empty, which is what makes the batch fold
+    worth it: the common case is pure elementwise arithmetic.
+    """
+    quotient = offset / period
+    k = np.floor(quotient)
+    fraction = quotient - k
+    tolerance = (quotient + 1.0) * _BOUNDARY_TOL
+    counts = k + 1.0
+    exact = (tolerance < fraction) & (fraction < 1.0 - tolerance)
+    negative = offset < 0.0
+    counts[negative] = 0.0
+    for i in (~(exact | negative)).nonzero()[0].tolist():
+        counts[i] = interference_count(0.0, float(offset[i]), float(period[i]))
+    bases = counts * c
+    first_jump = (np.floor_divide(offset, period) + 1.0) * period - offset
+    maybe = (first_jump < horizon).nonzero()[0]
+    return bases, maybe
+
+
+def _replay_add(value: float, terms) -> float:
+    """``(((value + t0) + t1) + ...)`` — the exact sequential chain.
+
+    This *is* the reference kernel's accumulation: a ``+=`` chain over
+    the per-flow bases in add order.  The batch fold hands the bases
+    over as a tuple of Python floats so replaying a cached fold costs a
+    plain scalar loop (cheaper than any numpy round-trip at the 16-64
+    element sizes involved).  Pass the negated terms for the rollback
+    chain: IEEE-754 guarantees ``a - b == a + (-b)`` exactly.
+    """
+    for term in terms:
+        value += term
+    return value
 
 
 def _flow_events(
@@ -145,6 +232,12 @@ class TrajectoryAnalyzer:
         skipped — provenance needs the final sweep's live state, so it
         is always recomputed, never served stale (per-walk and per-port
         caches still apply).
+    kernel:
+        ``"fast"`` (default) or ``"reference"`` — which tree-walk
+        implementation executes the sweeps (see the module docstring).
+        Bounds are bit-identical between the two; the fast kernel may
+        evaluate fewer candidates (``n_candidates``) thanks to the
+        proven dominance pruning.
     """
 
     def __init__(
@@ -158,9 +251,17 @@ class TrajectoryAnalyzer:
         incremental: bool = False,
         cache=None,
         explain: bool = False,
+        kernel: Optional[str] = None,
     ):
         if max_refinements < 1:
             raise ValueError(f"max_refinements must be >= 1, got {max_refinements}")
+        kernel = "fast" if kernel is None else str(kernel)
+        if kernel not in ("fast", "reference"):
+            raise ValueError(
+                f"unknown trajectory kernel {kernel!r}; "
+                "expected 'fast' or 'reference'"
+            )
+        self.kernel = kernel
         self.network = network
         self.serialization_mode = normalize_mode(serialization)
         self.refine_smax = refine_smax
@@ -231,6 +332,10 @@ class TrajectoryAnalyzer:
             self.serialization_mode,
             self.refine_smax,
             self.max_refinements,
+            # kernel tag: cached records embed n_candidates, which is
+            # legitimately smaller under the fast kernel's pruning —
+            # entries must never cross kernels
+            self.kernel,
         )
 
     def analyze(self) -> TrajectoryResult:
@@ -500,6 +605,106 @@ class TrajectoryAnalyzer:
         }
         if self.incremental:
             self._cache_counters["walk"] = [0, 0]
+        # owner-node technological latency per port (hot in every visit)
+        self._port_lat: Dict[PortId, float] = {
+            pid: network.node(pid[0]).technological_latency_us
+            for pid in self._port_vls
+        }
+        if self.kernel == "fast":
+            self._precompute_fast_tables()
+
+    def _precompute_fast_tables(self) -> None:
+        """Flat per-port competitor tables for the fast kernel.
+
+        One tuple of parallel arrays per port, indexed by the position
+        of each member in the port's sorted member tuple:
+
+        ``(members, C, T, vl_index, upstream, Smin, position)``
+
+        ``C`` is built with the exact expression the reference kernel
+        evaluates per meeting (``vl.s_max_bits / rate``), so every
+        float read from these tables is bit-identical to the dict walk.
+        ``Smax`` is the only sweep-varying input; its per-port slices
+        are rebuilt lazily each sweep (:meth:`_smax_slice`).
+        """
+        network = self.network
+        vl_order = sorted(network.virtual_links)
+        self._vl_index: Dict[str, int] = {
+            name: index for index, name in enumerate(vl_order)
+        }
+        self._n_vls = len(vl_order)
+        self._port_tab: Dict[PortId, Tuple] = {}
+        for pid, members in self._port_vls.items():
+            rate = self._port_rate[pid]
+            self._port_tab[pid] = (
+                members,
+                tuple(network.vl(m).s_max_bits / rate for m in members),
+                tuple(network.vl(m).bag_us for m in members),
+                tuple(self._vl_index[m] for m in members),
+                tuple(self._upstream[(m, pid)] for m in members),
+                tuple(self._smin[(m, pid)] for m in members),
+                {m: index for index, m in enumerate(members)},
+            )
+        # numpy mirrors of the per-port contract columns, for the
+        # batched fold (`_batch_fold`) on wide ports; the fifth column
+        # maps each member's upstream port to a small per-port integer
+        # id (-1 for source members) for the serialization-gain grouping
+        self._port_np: Dict[PortId, Tuple] = {}
+        for pid, tab in self._port_tab.items():
+            upstream_ids: Dict[PortId, int] = {}
+            mup_id = []
+            for up in tab[4]:
+                if up is None:
+                    mup_id.append(-1)
+                else:
+                    mup_id.append(upstream_ids.setdefault(up, len(upstream_ids)))
+            self._port_np[pid] = (
+                np.array(tab[1], dtype=np.float64),
+                np.array(tab[2], dtype=np.float64),
+                np.array(tab[3], dtype=np.intp),
+                np.array(tab[5], dtype=np.float64),
+                np.array(mup_id, dtype=np.intp),
+            )
+        # (port, parent) -> bool column: does each member cross parent?
+        # (the re-meeting test of `_discover_meetings`, vectorized)
+        self._crosses_cache: Dict[Tuple[PortId, PortId], "np.ndarray"] = {}
+        # shared-path meeting tree: the met bitmap at any walk node is
+        # the union of the path ports' member sets — independent of
+        # *which* member is the studied VL — so discovery results are
+        # keyed by the port path from the root, not per VL.  Each node
+        # is ``[entry, children, fold_cache]`` with ``children`` keyed
+        # by port and ``fold_cache`` keyed by the fold inputs
+        # ``(Smin_i, Smax_i, packed port Smax)`` — a hit replays the
+        # node's batch bases and events bit for bit across sweeps
+        self._meet_tree: Dict[PortId, list] = {}
+        self._fast_tree_ports: Dict[str, Tuple[PortId, ...]] = {
+            name: tuple(self._tree_ports(name)) for name in vl_order
+        }
+        # per-sweep Smax slices (cleared with the packs each sweep)
+        self._port_smax: Dict[PortId, List[float]] = {}
+        self._port_smax_np: Dict[PortId, "np.ndarray"] = {}
+        # cross-sweep walk memo: vl -> (packed Smax slices, bounds);
+        # a walk whose entire Smax input is unchanged since the last
+        # sweep is replayed from here without touching the tree
+        self._sweep_memo: Dict[str, Tuple[bytes, Dict]] = {}
+        self._cache_counters["sweep_memo"] = [0, 0]
+
+    def _smax_slice(self, port: PortId) -> List[float]:
+        """This sweep's ``Smax`` values of one port's members, in order."""
+        arr = self._port_smax.get(port)
+        if arr is None:
+            smax = self._smax
+            arr = [smax[(m, port)] for m in self._port_vls[port]]
+            self._port_smax[port] = arr
+        return arr
+
+    def _smax_np(self, port: PortId) -> "np.ndarray":
+        """:meth:`_smax_slice` as a numpy column (same floats)."""
+        arr = self._port_smax_np.get(port)
+        if arr is None:
+            arr = np.array(self._smax_slice(port), dtype=np.float64)
+            self._port_smax_np[port] = arr
+        return arr
 
     def _tree_ports(self, vl_name: str) -> List[PortId]:
         """One VL's tree ports in the DFS preorder :meth:`_walk_tree` visits."""
@@ -547,7 +752,11 @@ class TrajectoryAnalyzer:
         self._walk_tree_ports: Dict[str, Tuple[PortId, ...]] = {}
         self._walk_struct_fp: Dict[str, bytes] = {}
         for vl_name in sorted(network.virtual_links):
-            parts: List[object] = [self.serialization_mode, contracts[vl_name]]
+            # the kernel tag keeps cached walk records (which embed the
+            # kernel-dependent n_candidates) from crossing kernels
+            parts: List[object] = [
+                self.serialization_mode, self.kernel, contracts[vl_name]
+            ]
             tree_ports = tuple(self._tree_ports(vl_name))
             for port in tree_ports:
                 members = self._port_vls[port]
@@ -660,16 +869,55 @@ class TrajectoryAnalyzer:
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
         progress = self._obs.progress
         cache = self._walk_cache
-        # candidate events shift with Smax between sweeps: stale keys
-        # would only miss, so clearing merely bounds the memo's size
-        self._event_cache.clear()
-        # port packs, by contrast, MUST be dropped: Smax tightened
-        # since the last sweep, and a stale pack would alias two
-        # different walk inputs onto one fingerprint
+        fast = self.kernel == "fast"
+        # the candidate-event memo persists across sweeps on purpose:
+        # its keys are the exact fold floats ``(C, T, offset, horizon)``
+        # so a stale entry is unreachable, and most offsets survive a
+        # tightening round unchanged (only ports whose Smax moved shift
+        # them) — later sweeps hit where they used to rebuild.
+        # port packs and Smax slices, by contrast, MUST be dropped:
+        # Smax tightened since the last sweep, and a stale pack would
+        # alias two different walk inputs onto one fingerprint
         self._port_packs.clear()
+        if fast:
+            self._port_smax.clear()
+            self._port_smax_np.clear()
         for index, vl_name in enumerate(vl_names):
             if progress:
                 progress.update("trajectory.sweep", index, len(vl_names))
+            if fast:
+                # cross-sweep memo: a walk reads only its tree ports'
+                # Smax slices beyond sweep-invariant structure, so an
+                # unchanged packed slice sequence proves the previous
+                # sweep's bounds replay bit for bit
+                memo_counters = self._cache_counters["sweep_memo"]
+                memo_key = b"".join(
+                    self._port_pack(port)
+                    for port in self._fast_tree_ports[vl_name]
+                )
+                memo = self._sweep_memo.get(vl_name)
+                if memo is not None and memo[0] == memo_key:
+                    memo_counters[0] += 1
+                    bounds.update(memo[1])
+                    continue
+                memo_counters[1] += 1
+                local: Dict[FlowPortKey, TrajectoryPathBound] = {}
+                if cache is None:
+                    self._walk_tree_fast(vl_name, local)
+                else:
+                    walk_counters = self._cache_counters["walk"]
+                    fingerprint = self._walk_fingerprint(vl_name)
+                    cached = cache.get("traj.walk", fingerprint)
+                    if cached is not None:
+                        walk_counters[0] += 1
+                        local = cached
+                    else:
+                        walk_counters[1] += 1
+                        self._walk_tree_fast(vl_name, local)
+                        cache.put("traj.walk", fingerprint, local)
+                self._sweep_memo[vl_name] = (memo_key, local)
+                bounds.update(local)
+                continue
             if cache is None:
                 self._walk_tree(vl_name, bounds)
                 continue
@@ -681,7 +929,7 @@ class TrajectoryAnalyzer:
                 bounds.update(cached)
             else:
                 walk_counters[1] += 1
-                local: Dict[FlowPortKey, TrajectoryPathBound] = {}
+                local = {}
                 self._walk_tree(vl_name, local)
                 cache.put("traj.walk", fingerprint, local)
                 bounds.update(local)
@@ -987,6 +1235,461 @@ class TrajectoryAnalyzer:
                 best_workload = workload
         return best_value, best_t, best_workload, n_candidates
 
+    # ------------------------------------------------------------------
+    # Fast kernel (kernel="fast"): bit-identical twin of _walk_tree
+    # ------------------------------------------------------------------
+
+    def _discover_meetings_fast(
+        self, port: PortId, parent: Optional[PortId], metview: "np.ndarray"
+    ) -> Tuple:
+        """Index form of :meth:`_discover_meetings` over the flat tables.
+
+        ``metview`` is the walk's membership bitmap over global VL
+        indices — the exact same set the reference kernel represents
+        with its ``competitors`` dict keys (re-met flows enter that dict
+        under synthetic tuple keys and therefore never flip a name's
+        membership, which is why the bitmap needs no re-meeting marks).
+        Every unmet member joins here, so the added set is one vectorized
+        bitmap gather; only already-met members need the per-member
+        rejoin test.  The serialization-gain floats replay the reference
+        expression operation for operation: group insertion follows the
+        added order, members fold with ``math.fsum``.
+
+        The result depends only on the port path walked from the root
+        (the bitmap at a node is the union of the path ports' member
+        sets, whichever member is the studied VL), so callers key it in
+        the shared :attr:`_meet_tree` rather than per VL.
+
+        Returns ``(n_added, added, readded, gain, vec, names)`` with
+        positions into the port's member tuple; for batches wide
+        enough for :func:`_batch_fold`, ``vec`` carries the pre-sliced
+        numpy columns ``(positions, vl indices, C, T, Smin)`` and
+        ``added`` is left empty (the batch path never iterates
+        positions).  ``names`` is the name-level
+        ``(added, readded, gain)`` triple mirrored into
+        ``_meeting_cache`` for provenance replay and tests.
+        """
+        members, _mc, _mt, _mg, _mup, _msmin, _mpos = self._port_tab[port]
+        mc_np, mt_np, mg_np, msmin_np, mup_id = self._port_np[port]
+        prefixes = self._prefixes
+        mask = metview[mg_np] != 0
+        added_np = (~mask).nonzero()[0]
+        n_added = int(added_np.size)
+
+        # re-meetings: an already-met member that does not cross the
+        # port we arrived from left the path and rejoins here.  The
+        # studied flow itself crosses the parent by construction, so it
+        # drops out of the candidate set with the bitmap test.
+        readded: Tuple[int, ...] = ()
+        if parent is not None and n_added < len(members) - 1:
+            crosses = self._crosses_cache.get((port, parent))
+            if crosses is None:
+                crosses = np.array(
+                    [(m, parent) in prefixes for m in members], dtype=bool
+                )
+                self._crosses_cache[(port, parent)] = crosses
+            re_np = (mask & ~crosses).nonzero()[0]
+            if re_np.size:
+                readded = tuple(re_np.tolist())
+
+        mode = self.serialization_mode
+        port_gain = 0.0
+        if mode != "safe" and n_added:
+            # serialization credit over first meetings, grouped by the
+            # competitors' upstream port.  `math.fsum` is the exact
+            # (correctly rounded) sum and `max` is order-free, so the
+            # segment order here cannot drift from the reference's
+            # insertion-ordered dict walk.
+            uid = mup_id[added_np]
+            valid = (uid >= 0).nonzero()[0]
+            if valid.size >= 2:
+                order = valid[np.argsort(uid[valid], kind="stable")]
+                u_sorted = uid[order]
+                c_sorted = mc_np[added_np[order]]
+                cuts = np.flatnonzero(np.diff(u_sorted)) + 1
+                starts = [0, *cuts.tolist()]
+                ends = [*cuts.tolist(), int(u_sorted.size)]
+                spans = []
+                for s, e in zip(starts, ends):
+                    if e - s >= 2:
+                        group = c_sorted[s:e].tolist()
+                        spans.append(math.fsum(group) - max(group))
+                if spans:
+                    port_gain = math.fsum(spans) if mode == "paper" else max(spans)
+        names = (
+            tuple(map(members.__getitem__, added_np.tolist())),
+            tuple(map(members.__getitem__, readded)),
+            port_gain,
+        )
+        if n_added >= _VEC_MIN:
+            vec = (
+                added_np,
+                mg_np[added_np],
+                mc_np[added_np],
+                mt_np[added_np],
+                msmin_np[added_np],
+            )
+            added: Tuple[int, ...] = ()
+        else:
+            vec = None
+            added = tuple(added_np.tolist())
+        return n_added, added, readded, port_gain, vec, names
+
+    def _walk_tree_fast(
+        self, vl_name: str, bounds: Dict[FlowPortKey, TrajectoryPathBound]
+    ) -> None:
+        """Flat-table DFS of one VL's tree — bit-identical to the reference.
+
+        Every float the reference walk computes is reproduced here by
+        the same expression in the same order: the base workload grows
+        by sequential ``+=`` of the memoized per-flow bases in the
+        reference's add order (own flow, root members, then each port's
+        added/re-added members in sorted-member order) and shrinks on
+        backtrack by ``-=`` of the *same stored floats* in the same
+        order (never by restoring a saved value — float addition does
+        not cancel exactly).  What changes is the bookkeeping around
+        those operations: competitor contracts come from parallel
+        arrays instead of attribute-property chains, membership is a
+        bytearray over VL indices instead of dict lookups, and the
+        meeting structure is replayed from the shared per-path index
+        tuples of :attr:`_meet_tree` after the first walk of each
+        distinct port path.
+        """
+        network = self.network
+        vl = network.vl(vl_name)
+        root, children = self._trees[vl_name]
+        safe = self.serialization_mode == "safe"
+        self_g = self._vl_index[vl_name]
+        smin = self._smin
+        port_tab = self._port_tab
+        port_lat = self._port_lat
+        port_max_c = self._port_max_c
+        event_cache = self._event_cache
+        event_counters = self._cache_counters["events"]
+        memo_enabled = self._event_memo_enabled
+        meet_tree = self._meet_tree
+        meeting_cache = self._meeting_cache
+        meeting_counters = self._cache_counters["meetings"]
+        maximize = self._maximize_fast
+        discover = self._discover_meetings_fast
+        smax_slice = self._smax_slice
+        smax_np = self._smax_np
+        port_pack = self._port_pack
+
+        horizon = self._root_horizon(root)
+        met = bytearray(self._n_vls)
+        met[self_g] = 1
+        # zero-copy numpy view over the bitmap: scalar paths poke the
+        # bytearray, batch paths gather/scatter through the view
+        metview = np.frombuffer(met, dtype=np.uint8)
+
+        base_workload = 0.0
+        events: List[Tuple[float, float]] = []
+
+        def fold(c: float, period: float, offset: float) -> Tuple[float, int]:
+            """Add one flow's base and events; return them for rollback."""
+            nonlocal base_workload
+            if memo_enabled:
+                key = (c, period, offset, horizon)
+                cached = event_cache.get(key)
+                if cached is None:
+                    event_counters[1] += 1
+                    cached = _flow_events(c, period, offset, horizon)
+                    event_cache[key] = cached
+                else:
+                    event_counters[0] += 1
+            else:
+                cached = _flow_events(c, period, offset, horizon)
+            base, flow_events = cached
+            base_workload += base
+            events.extend(flow_events)
+            return base, len(flow_events)
+
+        def fold_events(c: float, period: float, offset: float) -> int:
+            """Events-only fold for flows whose base came from a batch."""
+            if memo_enabled:
+                key = (c, period, offset, horizon)
+                cached = event_cache.get(key)
+                if cached is None:
+                    event_counters[1] += 1
+                    cached = _flow_events(c, period, offset, horizon)
+                    event_cache[key] = cached
+                else:
+                    event_counters[0] += 1
+            else:
+                cached = _flow_events(c, period, offset, horizon)
+            flow_events = cached[1]
+            events.extend(flow_events)
+            return len(flow_events)
+
+        # ---- root-level folds (reference order: own flow, then the
+        # root port's other members in sorted-member order) -----------
+        own_c = vl.s_max_bits / self._port_rate[root]
+        fold(own_c, vl.bag_us, 0.0)
+        _members, mc, mt, mg, _mup, msmin, mpos = port_tab[root]
+        smax_arr = self._smax_slice(root)
+        smin_self = smin[(vl_name, root)]
+        n_root = 0
+        if safe:
+            smax_self = smax_arr[mpos[vl_name]]
+            for index, g in enumerate(mg):
+                if g == self_g:
+                    continue
+                first = smax_arr[index] - smin_self
+                second = smax_self - msmin[index]
+                fold(mc[index], mt[index], first if first >= second else second)
+                met[g] = 1
+                n_root += 1
+        else:
+            for index, g in enumerate(mg):
+                if g == self_g:
+                    continue
+                fold(mc[index], mt[index], smax_arr[index] - smin_self)
+                met[g] = 1
+                n_root += 1
+
+        # ---- recursive descent ---------------------------------------
+        def visit(
+            port: PortId,
+            node: list,
+            parent: Optional[PortId],
+            depth: int,
+            transitions: float,
+            latencies: float,
+            gain: float,
+            n_met: int,
+        ) -> None:
+            nonlocal base_workload
+            latencies += port_lat[port]
+            if depth > 0:
+                transitions += port_max_c[port]
+
+            n_added = 0
+            added_idx: Tuple[int, ...] = ()
+            mg_port: Tuple[int, ...] = ()
+            vec = None
+            folded_negs = None
+            removed: List[float] = []
+            added_events = 0
+            if depth > 0:
+                meetings = node[0]
+                if meetings is None:
+                    meeting_counters[1] += 1
+                    meetings = discover(port, parent, metview)
+                    node[0] = meetings
+                else:
+                    meeting_counters[0] += 1
+                n_added, added_idx, readded_idx, port_gain, vec, names = meetings
+                # keep the name-level view in sync: provenance replay
+                # (and tests poking at internals) read `_meeting_cache`
+                # regardless of which kernel ran the sweeps
+                key = (vl_name, port)
+                if key not in meeting_cache:
+                    meeting_cache[key] = names
+                if n_added or (safe and readded_idx):
+                    _m, mc, mt, _mg, _mu, msmin, mpos = port_tab[port]
+                    mg_port = _mg
+                    smax_arr = smax_slice(port)
+                    smin_self = smin[(vl_name, port)]
+                    smax_self = smax_arr[mpos[vl_name]] if safe else 0.0
+                    if vec is not None:
+                        # wide batch: bases elementwise, events (rare)
+                        # through the exact scalar path.  The node fold
+                        # cache replays both across sweeps while the
+                        # inputs (Smin_i, Smax_i, the port's packed
+                        # Smax slice) are unchanged.
+                        pos_a, gidx_a, c_a, t_a, ms_a = vec
+                        fkey = (smin_self, smax_self, port_pack(port))
+                        cached_fold = node[2].get(fkey)
+                        if cached_fold is None:
+                            offs = smax_np(port)[pos_a] - smin_self
+                            if safe:
+                                alt = smax_self - ms_a
+                                offs = np.where(offs >= alt, offs, alt)
+                            batch_bases, maybe = _batch_fold(
+                                c_a, t_a, offs, horizon
+                            )
+                            folded = tuple(batch_bases.tolist())
+                            folded_negs = tuple((-batch_bases).tolist())
+                            base_workload = _replay_add(
+                                base_workload, folded
+                            )
+                            event_start = len(events)
+                            for pos in maybe.tolist():
+                                added_events += fold_events(
+                                    float(c_a[pos]),
+                                    float(t_a[pos]),
+                                    float(offs[pos]),
+                                )
+                            node[2][fkey] = (
+                                folded,
+                                folded_negs,
+                                tuple(events[event_start:]),
+                            )
+                        else:
+                            folded, folded_negs, batch_events = cached_fold
+                            base_workload = _replay_add(
+                                base_workload, folded
+                            )
+                            events.extend(batch_events)
+                            added_events = len(batch_events)
+                        metview[gidx_a] = 1
+                    elif safe:
+                        for index in added_idx:
+                            first = smax_arr[index] - smin_self
+                            second = smax_self - msmin[index]
+                            base, n_events = fold(
+                                mc[index],
+                                mt[index],
+                                first if first >= second else second,
+                            )
+                            removed.append(base)
+                            added_events += n_events
+                            met[mg_port[index]] = 1
+                    else:
+                        for index in added_idx:
+                            base, n_events = fold(
+                                mc[index], mt[index], smax_arr[index] - smin_self
+                            )
+                            removed.append(base)
+                            added_events += n_events
+                            met[mg_port[index]] = 1
+                    if safe:
+                        # re-met competitors charge again (reference
+                        # semantics); they are already member-marked
+                        for index in readded_idx:
+                            first = smax_arr[index] - smin_self
+                            second = smax_self - msmin[index]
+                            base, n_events = fold(
+                                mc[index],
+                                mt[index],
+                                first if first >= second else second,
+                            )
+                            removed.append(base)
+                            added_events += n_events
+                if safe:
+                    n_met += len(readded_idx)
+                gain += port_gain
+                n_met += n_added
+
+            constant = transitions + latencies - gain
+            best, best_t, best_w, n_cand = maximize(
+                base_workload, events, constant
+            )
+            bounds[(vl_name, port)] = TrajectoryPathBound(
+                vl_name=vl_name,
+                path_index=-1,  # prefix record; path index filled by analyze()
+                node_path=(),
+                port_ids=(port,),
+                total_us=best,
+                critical_instant_us=best_t,
+                busy_period_us=horizon,
+                workload_us=best_w,
+                transition_us=transitions,
+                latency_us=latencies,
+                serialization_gain_us=gain,
+                n_competitors=n_met,
+                n_candidates=n_cand,
+            )
+
+            kids = node[1]
+            for child in children.get(port, ()):
+                child_node = kids.get(child)
+                if child_node is None:
+                    child_node = [None, {}, {}]
+                    kids[child] = child_node
+                visit(
+                    child, child_node, port, depth + 1,
+                    transitions, latencies, gain, n_met,
+                )
+
+            # rollback in add order, subtracting the stored floats
+            # (batch bases were added first, then any readded scalars)
+            if folded_negs is not None:
+                base_workload = _replay_add(base_workload, folded_negs)
+            for base in removed:
+                base_workload -= base
+            if added_events:
+                del events[-added_events:]
+            if vec is not None:
+                metview[vec[1]] = 0
+            else:
+                for index in added_idx:
+                    met[mg_port[index]] = 0
+
+        root_node = meet_tree.get(root)
+        if root_node is None:
+            root_node = [None, {}, {}]
+            meet_tree[root] = root_node
+        visit(root, root_node, None, 0, 0.0, 0.0, 0.0, n_root)
+
+    @staticmethod
+    def _maximize_fast(
+        base_workload: float,
+        events: List[Tuple[float, float]],
+        constant: float,
+    ) -> Tuple[float, float, float, int]:
+        """:meth:`_maximize` with a proven dominance prune.
+
+        The scan consumes the sorted events exactly like the reference
+        (same grouping, same ``+=`` order), so at every group boundary
+        its ``workload`` float equals the reference's bit for bit.  At
+        each boundary it additionally knows the total mass ``S`` of the
+        unconsumed events: for any later candidate ``t' >= t_next`` the
+        reference can compute at most
+
+            ``value' <= workload + S + constant - t_next + slack``
+
+        where ``slack`` bounds the accumulated floating-point error of
+        both scans (see docs/PERFORMANCE.md for the derivation).  Once
+        that ceiling cannot clear the incumbent's update threshold
+        ``best + _EPS``, no later candidate can win and the scan stops.
+        The returned ``(value, t, workload)`` triple is therefore
+        bit-identical to the reference; only ``n_candidates`` — the
+        number of candidates actually evaluated — may be smaller.
+        """
+        best_value = base_workload + constant
+        best_t = 0.0
+        best_workload = base_workload
+        n_candidates = 1
+        if not events:
+            return best_value, best_t, best_workload, n_candidates
+
+        ordered = sorted(events)
+        n = len(ordered)
+        # suffix event mass: remaining[i] = sum of C over ordered[i:]
+        remaining = [0.0] * n
+        acc = 0.0
+        for index in range(n - 1, -1, -1):
+            # repro-lint: allow[REPRO102] pruning ceiling only; rounding absorbed by `slack`, never a bound value
+            acc += ordered[index][1]
+            remaining[index] = acc
+        # slack: 4 (n + 4) u M with u = 2^-53 and M a magnitude bound
+        # on every partial result of either scan — conservative by more
+        # than 2x against the standard sequential-summation error bound
+        magnitude = base_workload + acc + abs(constant) + ordered[-1][0]
+        slack = (4.0 * (n + 4)) * 2.0 ** -53 * magnitude
+
+        workload = base_workload
+        idx = 0
+        while idx < n:
+            t = ordered[idx][0]
+            if (
+                workload + remaining[idx] + constant - t + slack
+                <= best_value + _EPS
+            ):
+                break  # every later candidate is dominated
+            while idx < n and ordered[idx][0] <= t + _EPS:
+                workload += ordered[idx][1]
+                idx += 1
+            n_candidates += 1
+            value = workload + constant - t
+            if value > best_value + _EPS:
+                best_value = value
+                best_t = t
+                best_workload = workload
+        return best_value, best_t, best_workload, n_candidates
+
 
 def analyze_trajectory(
     network: Network,
@@ -998,6 +1701,7 @@ def analyze_trajectory(
     incremental: bool = False,
     cache=None,
     explain: bool = False,
+    kernel: Optional[str] = None,
 ) -> TrajectoryResult:
     """One-shot convenience wrapper around :class:`TrajectoryAnalyzer`."""
     return TrajectoryAnalyzer(
@@ -1010,4 +1714,5 @@ def analyze_trajectory(
         incremental=incremental,
         cache=cache,
         explain=explain,
+        kernel=kernel,
     ).analyze()

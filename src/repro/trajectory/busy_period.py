@@ -26,17 +26,54 @@ __all__ = ["interference_count", "busy_period_bound", "candidate_instants"]
 _MAX_ITERATIONS = 10_000
 
 
+def _multiple_le(k: int, period: float, shifted: float) -> bool:
+    """Exact test ``k * period <= shifted`` over the floats' real values.
+
+    ``float.as_integer_ratio`` is exact (every binary float is a dyadic
+    rational), so the comparison is performed in integer arithmetic with
+    no rounding at all.
+    """
+    pn, pd = period.as_integer_ratio()
+    sn, sd = shifted.as_integer_ratio()
+    return k * pn * sd <= sn * pd
+
+
 def interference_count(t: float, offset: float, period: float) -> int:
     """Frames of a sporadic ``(C, T)`` flow able to delay a release at ``t``.
 
     ``(1 + floor((t + A) / T))+`` — the Martin & Minet counter: the
     flow's frames that may reach the shared port no later than the
-    packet under study, given the relative arrival offset ``A``.
+    packet under study, given the relative arrival offset ``A``.  The
+    boundary is inclusive: at ``t + A`` exactly ``k * T`` the ``k``-th
+    periodic frame still counts.
+
+    The floor is evaluated *exactly* on the real values of the floats
+    (``shifted = fl(t + A)`` is the defined input): the rounded quotient
+    seeds the answer and is then corrected against the exact integer
+    comparison ``k * T <= shifted``.  A historical ``+ 1e-9`` epsilon
+    fudge both over-counted a frame whenever ``t + A`` landed just
+    below a multiple of ``T`` (a tightness loss) and under-protected
+    once the quotient grew past ``~1e9`` ulps (where the division error
+    exceeds 1e-9).
     """
     shifted = t + offset
     if shifted < 0:
         return 0
-    return 1 + math.floor(shifted / period + 1e-9)
+    quotient = shifted / period
+    k = math.floor(quotient)
+    # Fast path: division is correctly rounded (error <= 0.5 ulp), so a
+    # fractional part safely away from both 0 and 1 proves the floor is
+    # already exact.  `quotient - k` is itself exact (Sterbenz).
+    fraction = quotient - k
+    tolerance = (quotient + 1.0) * 2.0 ** -50
+    if tolerance < fraction < 1.0 - tolerance:
+        return 1 + k
+    # Near a boundary: settle k = max{j : j * T <= shifted} exactly.
+    while k > 0 and not _multiple_le(k, period, shifted):
+        k -= 1
+    while _multiple_le(k + 1, period, shifted):
+        k += 1
+    return 1 + k
 
 
 def busy_period_bound(
@@ -93,6 +130,16 @@ def candidate_instants(
     Returns ``0`` plus every jump instant ``k * T_j - A_j`` of every
     competitor counter that falls inside ``(0, horizon)``, sorted and
     deduplicated.
+
+    Every emitted instant is *canonical*: the smallest float ``t`` at
+    which :func:`interference_count` has actually jumped to ``1 + k``.
+    The raw ``fl(k * T - A)`` rounding can land one ulp to either side
+    of that float — early, and the counter has not jumped yet at the
+    emitted candidate; late, and two flows whose jump instants coincide
+    in exact arithmetic emit floats one ulp apart, evaluating the same
+    candidate twice with values that disagree under re-association.
+    Nudging to the canonical float fixes both, and makes the exact
+    set-based deduplication sufficient.
     """
     instants = {0.0}
     for _c, period, offset in competitors.values():
@@ -101,7 +148,53 @@ def candidate_instants(
             t = k * period - offset
             if t >= horizon:
                 break
-            if t > 0:
-                instants.add(t)
+            if t > 0.0:
+                t = _canonical_jump(k, period, offset)
+                if 0.0 < t < horizon:
+                    instants.add(t)
             k += 1
     return sorted(instants)
+
+
+def _canonical_jump(k: int, period: float, offset: float) -> float:
+    """Smallest float ``t`` at which the counter has reached ``1 + k``.
+
+    The raw ``fl(k * period - offset)`` estimate brackets the true jump
+    within a few rounding errors; a float bisection then pins the first
+    ``t`` whose (rounded) ``t + offset`` crosses the exact boundary.
+    Bisection — not ulp-stepping — because under heavy cancellation
+    (``t`` many orders of magnitude below ``offset``) millions of
+    consecutive ``t`` floats can share one ``fl(t + offset)`` value.
+
+    Returns ``0.0`` when the jump happens at or before zero (the caller
+    only keeps instants strictly inside ``(0, horizon)``).
+    """
+    target = 1 + k
+    t = k * period - offset
+    if interference_count(t, offset, period) >= target:
+        step = max(math.ulp(t), math.ulp(offset))
+        lo = t - step
+        while lo > 0.0 and interference_count(lo, offset, period) >= target:
+            step *= 2.0
+            lo = t - step
+        if lo <= 0.0:
+            if interference_count(0.0, offset, period) >= target:
+                return 0.0
+            lo = 0.0
+        hi = t
+    else:
+        step = max(math.ulp(t), math.ulp(t + offset))
+        hi = t + step
+        while interference_count(hi, offset, period) < target:
+            step *= 2.0
+            hi = t + step
+        lo = t
+    # invariant: count(lo) < target <= count(hi); shrink to adjacency
+    while True:
+        mid = lo + (hi - lo) / 2.0
+        if mid <= lo or mid >= hi:
+            return hi
+        if interference_count(mid, offset, period) >= target:
+            hi = mid
+        else:
+            lo = mid

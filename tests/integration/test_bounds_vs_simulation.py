@@ -9,7 +9,7 @@ case — covered by tests/trajectory/test_serialization.py.)
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.configs import fig1_network, fig2_network, random_network
@@ -75,6 +75,10 @@ class TestRandomConfigs:
         scenario_seed=st.integers(min_value=0, max_value=100),
         synchronized=st.booleans(),
     )
+    # known-hard seeds replay on every run, on every clone — no
+    # dependence on a local .hypothesis/ example cache.  589 is the
+    # catch-up-interference counterexample of TestSeededRegressions.
+    @example(seed=589, scenario_seed=10, synchronized=False)
     @settings(max_examples=15, deadline=None)
     def test_property_random_config_random_traffic(
         self, seed, scenario_seed, synchronized
