@@ -6,7 +6,8 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
 .PHONY: check test lint bench bench-batch bench-scaling bench-incremental \
-	bench-explain bench-gate bench-baselines profile-smoke kernel-gate
+	bench-explain bench-throughput bench-gate bench-baselines \
+	profile-smoke kernel-gate
 
 check:
 	sh scripts/check.sh
@@ -42,6 +43,12 @@ bench-incremental:
 # benchmarks/results/BENCH_explain.json.
 bench-explain:
 	python benchmarks/bench_explain.py
+
+# Fleet throughput (configs/sec) over a seeded 200-config corpus:
+# cold vs warm-pool vs warm-pool+cache, bit-identical bounds; appends
+# to benchmarks/results/BENCH_throughput.json.
+bench-throughput:
+	python benchmarks/bench_throughput.py
 
 # Compare the latest BENCH_*.json records against the committed
 # baselines (advisory; `--strict` in CI to make regressions fatal).

@@ -8,6 +8,10 @@ path; it
   evolve the shape), an UTC ``timestamp`` and the current ``git_rev``
   (best-effort — absent outside a git checkout), which ties every
   timing and work-counter sample to the code that produced it;
+* stamps ``jobs`` (default 1, kept when the record already carries it):
+  wall times measured at different worker counts are not comparable,
+  so ``scripts/bench_gate.py`` only compares a record against a
+  baseline recorded at the same ``jobs``;
 * **rotates** the history to the last ``keep`` records, so the files
   stop growing without bound (the pre-schema behaviour appended
   forever).  ``keep`` comes from, in order: the explicit argument, the
@@ -19,7 +23,9 @@ Schema history:
 * 2 — ``bench_schema`` / ``git_rev`` stamps, rotation, and a ``work``
   section of deterministic cost-ledger counters
   (:mod:`repro.obs.costmodel`) that ``scripts/bench_gate.py`` compares
-  exactly.
+  exactly;
+* 3 — a top-level ``jobs`` stamp on every record (same-``jobs``
+  baseline comparison in the bench gate).
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from typing import Dict, List, Optional
 REPO = Path(__file__).resolve().parent.parent
 
 #: Current record schema (see module docstring for the history).
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Records kept per BENCH_*.json file when no override is given.
 DEFAULT_KEEP = 50
@@ -94,6 +100,7 @@ def append_record(
         "bench_schema": BENCH_SCHEMA_VERSION,
         "timestamp": utc_timestamp(),
         "git_rev": git_rev(),
+        "jobs": 1,
     }
     stamped.update(record)
     history = load_history(path)

@@ -18,7 +18,13 @@ against the committed ``benchmarks/baselines.json``:
   (``--min-seconds``, default 0.01 s) — micro-timings are all jitter;
 * statuses: ``ok`` / ``faster`` / ``slower`` (regression) / ``new``
   (no baseline) / ``missing`` (baselined key absent from the latest
-  record, e.g. after a bench rewrite).
+  record, e.g. after a bench rewrite);
+* wall times from different worker counts are not comparable, so each
+  file's samples carry the record's ``jobs`` stamp and timing
+  comparison only happens against a same-``jobs`` baseline — a
+  mismatch reports one informational ``jobs-mismatch`` row for the
+  file and still compares the ``work`` counters (which are exact
+  across any ``jobs`` by the bit-identity contract).
 
 Alongside the wall times, integer leaves under a record's ``work``
 section (the deterministic cost-ledger summary every bench script
@@ -129,14 +135,25 @@ def _is_work_key(key: str) -> bool:
     return WORK_SEGMENT in key.split(".")
 
 
-def latest_timings(results_dir: Path) -> Dict[str, Dict[str, float]]:
-    """``{file_name: {flat_key: sample}}`` from each file's newest record.
+def _record_jobs(record: object) -> int:
+    """The record's ``jobs`` stamp (pre-schema-3 records ran jobs=1)."""
+    if isinstance(record, dict):
+        jobs = record.get("jobs", 1)
+        if isinstance(jobs, (int, float)) and not isinstance(jobs, bool):
+            return int(jobs)
+    return 1
+
+
+def latest_timings(results_dir: Path) -> Dict[str, Dict[str, object]]:
+    """``{file_name: {"jobs": N, "samples": {flat_key: sample}}}``
+    from each file's newest record.
 
     Timing samples (seconds, float) and work counters (exact ints,
     keys containing a ``work`` segment) share the flat namespace; the
-    key shape keeps them apart.
+    key shape keeps them apart.  ``jobs`` is the record's worker-count
+    stamp, the comparability guard for the timing samples.
     """
-    out: Dict[str, Dict[str, float]] = {}
+    out: Dict[str, Dict[str, object]] = {}
     for path in sorted(results_dir.glob("BENCH_*.json")):
         try:
             doc = json.loads(path.read_text())
@@ -147,22 +164,46 @@ def latest_timings(results_dir: Path) -> Dict[str, Dict[str, float]]:
         samples = dict(flatten_timings(record))
         samples.update(flatten_work(record))
         if samples:
-            out[path.name] = samples
+            out[path.name] = {"jobs": _record_jobs(record), "samples": samples}
     return out
 
 
+def _normalize_entry(entry: object) -> Tuple[int, Dict[str, float]]:
+    """``(jobs, samples)`` from either baseline schema.
+
+    Pre-``jobs`` baselines were flat ``{flat_key: sample}`` dicts; they
+    are treated as jobs=1 so existing committed baselines keep working.
+    """
+    if (
+        isinstance(entry, dict)
+        and isinstance(entry.get("samples"), dict)
+        and "jobs" in entry
+    ):
+        return _record_jobs(entry), dict(entry["samples"])
+    return 1, dict(entry) if isinstance(entry, dict) else {}
+
+
 def compare(
-    latest: Dict[str, Dict[str, float]],
-    baselines: Dict[str, Dict[str, float]],
+    latest: Dict[str, Dict[str, object]],
+    baselines: Dict[str, object],
     tolerance: float,
     min_seconds: float,
 ) -> List[Tuple[str, str, str, float, float]]:
     """``(file, key, status, baseline_s, latest_s)`` rows, sorted."""
     rows: List[Tuple[str, str, str, float, float]] = []
     for fname in sorted(set(latest) | set(baselines)):
-        now = latest.get(fname, {})
-        base = baselines.get(fname, {})
+        now_jobs, now = _normalize_entry(latest.get(fname, {}))
+        base_jobs, base = _normalize_entry(baselines.get(fname, {}))
+        jobs_match = now_jobs == base_jobs
+        if not jobs_match and fname in latest and fname in baselines:
+            # timings at different worker counts are incomparable;
+            # the work counters below still compare exactly
+            rows.append(
+                (fname, "(jobs)", "jobs-mismatch", float(base_jobs), float(now_jobs))
+            )
         for key in sorted(set(now) | set(base)):
+            if not jobs_match and not _is_work_key(key):
+                continue
             if key not in base:
                 rows.append((fname, key, "new", float("nan"), now[key]))
             elif key not in now:
@@ -254,7 +295,13 @@ def main(argv=None) -> int:
                 if base == base and now == now and base > 0
                 else ""
             )
-            if _is_work_key(key):
+            if status == "jobs-mismatch":
+                print(
+                    f"{status:>13}  {f'{fname}':<{width}}  "
+                    f"baseline jobs={int(base)}  latest jobs={int(now)} "
+                    f"(timings skipped; work counters still exact)"
+                )
+            elif _is_work_key(key):
                 print(
                     f"{status:>9}  {f'{fname}:{key}':<{width}}  "
                     f"base {_fmt_work(base)}  now {_fmt_work(now)}{ratio}"
@@ -266,7 +313,10 @@ def main(argv=None) -> int:
                 )
     summary = ", ".join(
         f"{counts.get(s, 0)} {s}"
-        for s in ("ok", "faster", "slower", "more-work", "less-work", "new", "missing")
+        for s in (
+            "ok", "faster", "slower", "more-work", "less-work",
+            "new", "missing", "jobs-mismatch",
+        )
     )
     print(
         f"bench-gate: {summary} "

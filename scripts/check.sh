@@ -35,6 +35,9 @@ python scripts/incremental_gate.py
 echo "== kernel equivalence (fast vs reference, bit-identical across jobs + cache) =="
 python scripts/kernel_gate.py
 
+echo "== fleet equivalence (one warm pool across all scenarios at --jobs 4, no shm leaks) =="
+python scripts/kernel_gate.py --jobs 4 --warm-pool
+
 echo "== profile smoke (afdx profile on fig1; traces valid; ledger byte-identical) =="
 python scripts/profile_smoke.py
 

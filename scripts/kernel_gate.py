@@ -21,8 +21,15 @@ it bit for bit:
    are dropped.
 
 Any violation prints the offending scenario and exits non-zero.
+
+``--jobs N`` sets the parallel execution shape (default 2); with
+``--warm-pool`` a single :class:`WorkerPool` is created once and
+reused across every scenario (payload epochs), proving the warm-pool
+fleet mode is as bit-exact as fresh pools.  Either way the gate ends
+by asserting no shared-memory segment leaked.
 """
 
+import argparse
 import sys
 import tempfile
 from pathlib import Path
@@ -30,6 +37,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.batch import BatchAnalyzer  # noqa: E402
+from repro.batch import shm  # noqa: E402
+from repro.batch.pool import WorkerPool  # noqa: E402
 from repro.configs import fig1_network, fig2_network  # noqa: E402
 from repro.configs.industrial import (  # noqa: E402
     IndustrialConfigSpec,
@@ -120,7 +129,33 @@ def _ledger_section(result):
     return deterministic_section(result.stats["cost"])
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="trajectory kernel gate")
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker count for the parallel execution shape (default 2)",
+    )
+    parser.add_argument(
+        "--warm-pool", action="store_true",
+        help="reuse one WorkerPool across every scenario (payload epochs)",
+    )
+    args = parser.parse_args(argv)
+
+    pool = WorkerPool(args.jobs, None) if args.warm_pool else None
+    try:
+        _run_scenarios(args.jobs, pool)
+    finally:
+        if pool is not None:
+            pool.close()
+    leaked = shm.active_owned()
+    if leaked:
+        print(f"kernel gate FAILED: leaked shared-memory segments {leaked}")
+        sys.exit(1)
+    shape = f"jobs={args.jobs}" + (" warm pool" if args.warm_pool else "")
+    print(f"kernel gate OK ({shape}, no shm segments leaked)")
+
+
+def _run_scenarios(jobs, pool):
     for scenario, network, mode in _scenarios():
         reference = TrajectoryAnalyzer(
             network, serialization=mode, kernel="reference", collect_stats=True
@@ -132,11 +167,11 @@ def main():
         ).trajectory()
         _check_paths(scenario, "fast jobs=1 vs reference", reference, fast_j1)
 
-        fast_j2 = BatchAnalyzer(
-            network, jobs=2, serialization=mode, collect_stats=True,
-            trajectory_kernel="fast",
+        fast_jn = BatchAnalyzer(
+            network, jobs=jobs, serialization=mode, collect_stats=True,
+            trajectory_kernel="fast", pool=pool,
         ).trajectory()
-        _check_paths(scenario, "fast jobs=2 vs reference", reference, fast_j2)
+        _check_paths(scenario, f"fast jobs={jobs} vs reference", reference, fast_jn)
 
         with tempfile.TemporaryDirectory(prefix="afdx-kernel-gate-") as cache:
             cold = BatchAnalyzer(
@@ -154,7 +189,7 @@ def main():
         # fast execution shape...
         section = _ledger_section(fast_j1)
         for label, result in (
-            ("jobs=2", fast_j2),
+            (f"jobs={jobs}", fast_jn),
             ("cold cache", cold),
             ("warm cache", warm),
         ):
@@ -176,7 +211,6 @@ def main():
             f"  {scenario}: {len(reference.paths)} paths bit-identical "
             f"(4 fast shapes), ledgers agree, {pruned} candidates pruned"
         )
-    print("kernel gate OK")
 
 
 if __name__ == "__main__":

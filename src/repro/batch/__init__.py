@@ -17,11 +17,21 @@ Entry points
 :func:`batch_sweep`
     Whole-configuration fan-out over seeded ``random_network`` configs,
     each analyzed and simulated, returning a violation report.
+:func:`analyze_corpus`
+    Fleet throughput: every configuration of a seeded
+    :class:`CorpusSpec` analyzed through a (reusable, warm) worker
+    pool with shared cross-config caches.
 
 See ``docs/BATCH.md`` for the design and the cache-sharing model.
 """
 
 from repro.batch.analyzer import BatchAnalyzer
+from repro.batch.corpus import (
+    CorpusReport,
+    CorpusSpec,
+    analyze_corpus,
+    corpus_network,
+)
 from repro.batch.pool import WorkerPool, chunked
 from repro.batch.sweep import (
     SweepConfigRecord,
@@ -40,4 +50,8 @@ __all__ = [
     "SweepConfigRecord",
     "SweepReport",
     "batch_sweep",
+    "CorpusSpec",
+    "CorpusReport",
+    "analyze_corpus",
+    "corpus_network",
 ]

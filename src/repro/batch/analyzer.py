@@ -40,6 +40,7 @@ fast and exactly as deterministic as before the batch engine existed.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -57,7 +58,14 @@ from repro.obs.costmodel import (
 )
 from repro.obs.instrument import Instrumentation
 from repro.obs.logging import get_logger, kv
-from repro.batch.pool import WorkerPool, chunked, resolve_jobs, worker_state
+from repro.batch import shm as _shm
+from repro.batch.pool import (
+    WorkerPool,
+    chunked,
+    resolve_jobs,
+    worker_persistent,
+    worker_state,
+)
 from repro.core.combined import analyze_network, build_comparison
 from repro.core.results import AnalysisResult
 from repro.trajectory.analyzer import TrajectoryAnalyzer, analyze_trajectory
@@ -71,7 +79,8 @@ _LOG = get_logger("batch")
 
 @dataclass
 class _Payload:
-    """Everything a worker needs, delivered once per process."""
+    """Everything a worker needs, delivered once per process (or once
+    per epoch when a warm pool switches configs)."""
 
     network: Network
     grouping: bool = True
@@ -81,6 +90,9 @@ class _Payload:
     incremental: bool = False
     cache_dir: Optional[str] = None
     trajectory_kernel: Optional[str] = None
+    #: shared-memory spec + per-port index of the coordinator's
+    #: exported fast-kernel tables (``export_fast_tables``), or None
+    fast_tables: Optional[Tuple[_shm.ShmSpec, Dict[PortId, Tuple[int, int]]]] = None
 
 
 def _worker_cache(payload: _Payload):
@@ -90,17 +102,21 @@ def _worker_cache(payload: _Payload):
     opens its own cache; a ``cache_dir`` makes them share entries
     through the disk layer (safe: writes are atomic and entries are
     content-addressed, so concurrent writers only ever duplicate work,
-    never corrupt results).
+    never corrupt results).  The cache is *persistent* worker state: it
+    survives payload epochs, so a warm pool re-used across configs
+    keeps serving its in-memory entries — content addressing makes
+    cross-config hits sound by construction.
     """
     if not payload.incremental:
         return None
+    cache_dir = payload.cache_dir
 
-    def build(_payload: _Payload):
+    def build():
         from repro.incremental.cache import BoundCache
 
-        return BoundCache(cache_dir=_payload.cache_dir)
+        return BoundCache(cache_dir=cache_dir)
 
-    return worker_state("bound_cache", build)
+    return worker_persistent(f"bound_cache:{cache_dir}", build)
 
 
 def _build_nc_analyzer(payload: _Payload) -> NetworkCalculusAnalyzer:
@@ -142,7 +158,21 @@ def _build_trajectory_analyzer(payload: _Payload) -> TrajectoryAnalyzer:
         cache=_worker_cache(payload),
         kernel=payload.trajectory_kernel,
     )
-    analyzer.prepare(smax_seed=payload.smax_seed)
+    smax_seed = payload.smax_seed
+    if payload.fast_tables is not None:
+        spec, index = payload.fast_tables
+        try:
+            arrays, segment = _shm.attach(spec)
+        except (OSError, ValueError):
+            # the coordinator's segment is gone (e.g. it crashed and
+            # atexit unlinked); fall back to a local table build
+            pass
+        else:
+            # the segment handle must outlive the zero-copy views; the
+            # analyzer's lifetime bounds both (epoch-scoped state)
+            analyzer._shm_segment = segment
+            smax_seed = analyzer.adopt_fast_tables(arrays, index)
+    analyzer.prepare(smax_seed=smax_seed)
     return analyzer
 
 
@@ -170,6 +200,12 @@ def _trajectory_worker(
     return bounds, analyzer.cache_stats(), os.getpid(), busy
 
 
+@contextmanager
+def _borrowed(pool: WorkerPool):
+    """Context manager over a pool the caller owns: never closes it."""
+    yield pool
+
+
 @dataclass
 class _PoolStats:
     """Worker accounting for one parallel phase."""
@@ -180,6 +216,10 @@ class _PoolStats:
     jobs: int = 1
     cache_stats: Dict[int, Dict[str, Tuple[int, int]]] = field(default_factory=dict)
     worker_busy: Dict[int, float] = field(default_factory=dict)
+    # execution shape (manifest gauges; non-deterministic by design)
+    shm_tables: int = 0
+    pool_reused: int = 0
+    start_method: str = ""
 
     def record_task(self, pid: int, busy: float) -> None:
         self.tasks += 1
@@ -243,6 +283,17 @@ class BatchAnalyzer:
         — workers only ever compute bounds — and the ledgers are
         identical for any ``jobs`` because the bounds they decompose
         are.
+    pool:
+        An existing warm :class:`WorkerPool` to reuse instead of
+        creating (and tearing down) one per phase.  The analyzer swaps
+        its payload in via :meth:`WorkerPool.set_payload` — workers
+        keep their persistent state (bound caches) — and never closes
+        it; the caller owns its lifecycle.  ``jobs`` is taken from the
+        pool.
+    use_shm:
+        Ship the fast kernel's flat tables (and warm-pool payload
+        epochs) through shared memory (default).  ``False`` falls back
+        to fork-copy/pickling — bounds are identical either way.
     """
 
     def __init__(
@@ -260,9 +311,11 @@ class BatchAnalyzer:
         cache_dir: Optional[str] = None,
         explain: bool = False,
         trajectory_kernel: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
+        use_shm: bool = True,
     ) -> None:
         self.network = network
-        self.jobs = resolve_jobs(jobs)
+        self.jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
         self.grouping = grouping
         self.frame_overhead_bytes = frame_overhead_bytes
         self.serialization = serialization
@@ -274,11 +327,22 @@ class BatchAnalyzer:
         self._progress = progress
         self.incremental = incremental or cache_dir is not None
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._external_pool = pool
+        self.use_shm = use_shm
         self._cache = None
         if self.incremental:
             from repro.incremental.cache import BoundCache
 
             self._cache = BoundCache(cache_dir=self.cache_dir)
+
+    def _pool_for(self, payload: _Payload):
+        """One phase's pool: the external warm pool (payload swapped
+        in, never closed) or a fresh owned one (context-managed)."""
+        if self._external_pool is not None:
+            pool = self._external_pool
+            pool.set_payload(payload)
+            return _borrowed(pool)
+        return WorkerPool(self.jobs, payload, use_shm=self.use_shm)
 
     # ------------------------------------------------------------------
     # Network Calculus
@@ -322,7 +386,9 @@ class BatchAnalyzer:
         with obs.tracer.span(
             "batch.netcalc", jobs=self.jobs, n_ports=len(order), n_levels=len(levels)
         ) as phase_span:
-            with WorkerPool(self.jobs, payload) as pool:
+            with self._pool_for(payload) as pool:
+                stats.pool_reused = int(pool is self._external_pool)
+                stats.start_method = pool.start_method
                 done = 0
                 for level in levels:
                     tasks = chunked(
@@ -353,6 +419,8 @@ class BatchAnalyzer:
                         progress.update("batch.netcalc", done, len(order))
             if obs.enabled:
                 phase_span.attrs["workers"] = stats.worker_lanes()
+                phase_span.attrs["start_method"] = stats.start_method
+                phase_span.attrs["pool_reused"] = stats.pool_reused
         stats.wall_s = time.perf_counter() - started
 
         result = NetworkCalculusResult(grouping=self.grouping)
@@ -409,6 +477,19 @@ class BatchAnalyzer:
         # same walk order as the sequential sweep; chunked contiguously
         vl_names = list(network.virtual_links)
         chunks = chunked(vl_names, self.jobs * 4)
+        # fast-kernel runs pack the coordinator's flat tables into one
+        # shared-memory arena: workers map the columns read-only
+        # instead of rebuilding (or fork-copying) them per process
+        arena: Optional[_shm.ShmArena] = None
+        fast_tables = None
+        if self.use_shm and coordinator.kernel == "fast":
+            columns, table_index = coordinator.export_fast_tables()
+            try:
+                arena = _shm.ShmArena(columns)
+            except _shm.ShmUnavailable as exc:
+                _LOG.info("fast-table arena unavailable, fork-copying: %s", exc)
+            else:
+                fast_tables = (arena.spec, table_index)
         payload = _Payload(
             network=network,
             serialization=self.serialization,
@@ -416,6 +497,7 @@ class BatchAnalyzer:
             incremental=self.incremental,
             cache_dir=self.cache_dir,
             trajectory_kernel=self.trajectory_kernel,
+            fast_tables=fast_tables,
         )
         cumulative: Dict[FlowPortKey, float] = {}
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
@@ -424,49 +506,68 @@ class BatchAnalyzer:
         progress = obs.progress
         started = time.perf_counter()
         ledger = CostLedger("trajectory") if self.collect_stats else None
-        with obs.tracer.span(
-            "batch.trajectory", jobs=self.jobs, n_vls=len(vl_names), n_chunks=len(chunks)
-        ) as phase_span:
-            with WorkerPool(self.jobs, payload) as pool:
-                for _ in range(self.max_refinements):
-                    if self.explain:
-                        # the map this round's workers sweep with: the
-                        # seed plus every tightening broadcast so far
-                        coordinator._explain_smax = coordinator.smax_snapshot()
-                    tasks = [(chunk, dict(cumulative)) for chunk in chunks]
-                    bounds = {}
-                    for chunk_bounds, cache_stats, pid, busy in pool.map(
-                        _trajectory_worker, tasks
-                    ):
-                        stats.record_task(pid, busy)
-                        stats.cache_stats[pid] = cache_stats
-                        bounds.update(chunk_bounds)
-                    sweeps += 1
-                    if progress:
-                        progress.update("batch.trajectory.sweep", sweeps, sweeps)
-                    stable = True
-                    n_updates = 0
-                    if self.refine_smax:
-                        updates, _ = coordinator.tighten_smax(bounds)
-                        stable = not updates
-                        n_updates = len(updates)
-                        cumulative.update(updates)
-                    if ledger is not None:
-                        # the merged chunk bounds equal the sequential
-                        # sweep's map bit for bit, so the ledger is
-                        # identical for any --jobs N
-                        record_trajectory_sweep(
-                            ledger, bounds, smax_updates=n_updates
-                        )
-                    if stable:
-                        break
-            if obs.enabled:
-                phase_span.attrs["workers"] = stats.worker_lanes()
+        stats.shm_tables = int(fast_tables is not None)
+        try:
+            with obs.tracer.span(
+                "batch.trajectory",
+                jobs=self.jobs,
+                n_vls=len(vl_names),
+                n_chunks=len(chunks),
+            ) as phase_span:
+                with self._pool_for(payload) as pool:
+                    stats.pool_reused = int(pool is self._external_pool)
+                    stats.start_method = pool.start_method
+                    for _ in range(self.max_refinements):
+                        if self.explain:
+                            # the map this round's workers sweep with: the
+                            # seed plus every tightening broadcast so far
+                            coordinator._explain_smax = coordinator.smax_snapshot()
+                        tasks = [(chunk, dict(cumulative)) for chunk in chunks]
+                        bounds = {}
+                        for chunk_bounds, cache_stats, pid, busy in pool.map(
+                            _trajectory_worker, tasks
+                        ):
+                            stats.record_task(pid, busy)
+                            stats.cache_stats[pid] = cache_stats
+                            bounds.update(chunk_bounds)
+                        sweeps += 1
+                        if progress:
+                            progress.update("batch.trajectory.sweep", sweeps, sweeps)
+                        stable = True
+                        n_updates = 0
+                        if self.refine_smax:
+                            updates, _ = coordinator.tighten_smax(bounds)
+                            stable = not updates
+                            n_updates = len(updates)
+                            cumulative.update(updates)
+                        if ledger is not None:
+                            # the merged chunk bounds equal the sequential
+                            # sweep's map bit for bit, so the ledger is
+                            # identical for any --jobs N
+                            record_trajectory_sweep(
+                                ledger, bounds, smax_updates=n_updates
+                            )
+                        if stable:
+                            break
+                if obs.enabled:
+                    phase_span.attrs["workers"] = stats.worker_lanes()
+                    phase_span.attrs["start_method"] = stats.start_method
+                    phase_span.attrs["pool_reused"] = stats.pool_reused
+                    phase_span.attrs["shm_tables"] = stats.shm_tables
+        finally:
+            # every worker that will ever need the arena has mapped it
+            # by now (tasks for this payload epoch are done); retiring
+            # the name is safe while those mappings live
+            if arena is not None:
+                arena.close_and_unlink()
         stats.wall_s = time.perf_counter() - started
 
         result = coordinator.build_result(bounds, sweeps)
         if ledger is not None:
             ledger.add_work("paths_bound", len(result.paths))
+            ledger.record_runtime("shm_table_segments", stats.shm_tables)
+            ledger.record_runtime("pool_reused", stats.pool_reused)
+            ledger.record_runtime("workers", stats.jobs)
         if self.explain:
             coordinator._explain_bounds = bounds
             with obs.tracer.span("batch.trajectory.explain"):
@@ -494,7 +595,12 @@ class BatchAnalyzer:
     # ------------------------------------------------------------------
 
     def combined(self) -> AnalysisResult:
-        """Both analyses (parallel) and their per-path minimum."""
+        """Both analyses (parallel) and their per-path minimum.
+
+        One worker pool serves both phases: the trajectory phase swaps
+        its payload into the pool the NC phase warmed up (a payload
+        epoch) instead of forking a second set of processes.
+        """
         if self.jobs == 1:
             return analyze_network(
                 self.network,
@@ -506,14 +612,31 @@ class BatchAnalyzer:
                 explain=self.explain,
                 trajectory_kernel=self.trajectory_kernel,
             )
-        nc_result = self.network_calculus()
-        # the sequential path seeds Smax from a grouping=True NC run;
-        # reuse ours when it matches, otherwise let the trajectory
-        # coordinator compute its own grouped seed
-        seed = (
-            seed_smax_from_netcalc(self.network, nc_result) if self.grouping else None
-        )
-        trajectory_result = self.trajectory(smax_seed=seed)
+        own_pool: Optional[WorkerPool] = None
+        if self._external_pool is None:
+            own_pool = WorkerPool(self.jobs, None, use_shm=self.use_shm)
+            self._external_pool = own_pool
+        try:
+            nc_result = self.network_calculus()
+            # the sequential path seeds Smax from a grouping=True NC
+            # run; reuse ours when it matches, otherwise let the
+            # trajectory coordinator compute its own grouped seed
+            seed = (
+                seed_smax_from_netcalc(self.network, nc_result)
+                if self.grouping
+                else None
+            )
+            trajectory_result = self.trajectory(smax_seed=seed)
+        except BaseException:
+            if own_pool is not None:
+                self._external_pool = None
+                own_pool.terminate()
+                own_pool = None
+            raise
+        finally:
+            if own_pool is not None:
+                self._external_pool = None
+                own_pool.close()
         return build_comparison(nc_result, trajectory_result)
 
     # ------------------------------------------------------------------
@@ -528,4 +651,13 @@ class BatchAnalyzer:
         metrics.gauge(f"batch.{phase}.wall_ms", round(stats.wall_s * 1e3, 3))
         metrics.gauge(
             f"batch.{phase}.worker_utilization", round(stats.utilization, 4)
+        )
+        # execution shape: gauges must be numeric (manifest contract),
+        # so the start method is encoded as its fork-ness and the full
+        # string rides the phase span / INFO log
+        metrics.gauge(f"batch.{phase}.shm_tables", stats.shm_tables)
+        metrics.gauge(f"batch.{phase}.pool_reused", stats.pool_reused)
+        metrics.gauge(
+            f"batch.{phase}.start_method_fork",
+            int(stats.start_method == "fork"),
         )

@@ -4,13 +4,22 @@ A thin, deterministic wrapper over :class:`multiprocessing.pool.Pool`:
 
 * **fork first** — the coordinator prefers the ``fork`` start method so
   workers inherit the (read-only) network topology for free; on
-  platforms without it the payload travels through the ``spawn``
-  initializer instead.  Either way the payload is delivered exactly
-  once per worker, not once per task.
+  platforms without it the fallback start method is logged at INFO and
+  the payload travels through shared memory (or the ``spawn``
+  initializer) instead.  Either way the payload is delivered exactly
+  once per worker per epoch, not once per task.
 * **persistent per-worker state** — the initializer parks the payload
   in a module global; task functions lazily build whatever expensive
   state they need from it (a prepared analyzer, cached port-flow sets)
   and reuse it across every task the worker receives.
+* **warm reuse across configs** — :meth:`WorkerPool.set_payload` swaps
+  the payload without restarting the workers.  Each swap starts a new
+  *epoch*: the payload is pickled once into a shared-memory segment
+  (:mod:`repro.batch.shm`), every task carries the epoch tag, and a
+  worker seeing a newer tag reloads the payload and drops its
+  epoch-scoped state while keeping the *persistent* state
+  (:func:`worker_persistent`) — per-worker bound caches survive config
+  switches, which is what makes a corpus sweep warm.
 * **ordered results** — ``map()`` returns results in task-submission
   order regardless of which worker finished first, so merging is
   deterministic by construction.
@@ -27,22 +36,71 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["WorkerPool", "chunked", "resolve_jobs"]
+from repro.batch import shm as _shm
+from repro.obs.logging import get_logger, kv
+
+__all__ = [
+    "WorkerPool",
+    "chunked",
+    "resolve_jobs",
+    "worker_payload",
+    "worker_persistent",
+    "worker_state",
+]
 
 T = TypeVar("T")
+
+_LOG = get_logger("batch")
 
 #: Payload slot filled by :func:`_init_worker` in every pool process.
 _WORKER_PAYLOAD: Optional[Any] = None
 #: Lazily-built per-worker state, keyed by task family (see ``worker_state``).
+#: Cleared on every payload epoch — it derives from the payload.
 _WORKER_STATE: dict = {}
+#: Per-worker state that *survives* payload epochs (bound caches keyed
+#: by cache directory); cleared only when the worker process dies.
+_WORKER_PERSISTENT: dict = {}
+#: Epoch of the payload currently loaded in this worker (-1 = none).
+_WORKER_EPOCH: int = -1
 
 
-def _init_worker(payload: Any) -> None:
-    global _WORKER_PAYLOAD
-    _WORKER_PAYLOAD = payload
+def _load_payload_ref(ref: Any) -> Any:
+    """Materialize a payload reference shipped by the coordinator."""
+    if isinstance(ref, _shm.ShmSpec):
+        return _shm.get_pickled(ref)
+    return ref
+
+
+def _init_worker(epoch: int, ref: Any) -> None:
+    global _WORKER_PAYLOAD, _WORKER_EPOCH
+    _WORKER_PAYLOAD = _load_payload_ref(ref)
+    _WORKER_EPOCH = epoch
     _WORKER_STATE.clear()
+    _WORKER_PERSISTENT.clear()
+
+
+def _ensure_epoch(epoch: int, ref: Any) -> None:
+    """Reload the payload when a task carries a newer epoch tag.
+
+    A respawned worker (after a crash) self-heals here too: its
+    initializer installed whatever epoch the pool was created with, and
+    the first task it receives upgrades it.
+    """
+    global _WORKER_PAYLOAD, _WORKER_EPOCH
+    if epoch == _WORKER_EPOCH:
+        return
+    if ref is not None:
+        _WORKER_PAYLOAD = _load_payload_ref(ref)
+    _WORKER_EPOCH = epoch
+    _WORKER_STATE.clear()
+
+
+def _run_task(wrapped: Tuple[int, Any, Callable[[Any], T], Any]) -> T:
+    epoch, ref, func, task = wrapped
+    _ensure_epoch(epoch, ref)
+    return func(task)
 
 
 def worker_payload() -> Any:
@@ -51,12 +109,26 @@ def worker_payload() -> Any:
 
 
 def worker_state(key: str, build: Callable[[Any], T]) -> T:
-    """Per-worker memo: build once from the payload, reuse per task."""
+    """Per-worker memo: build once from the payload, reuse per task.
+
+    Scoped to the payload *epoch* — a :meth:`WorkerPool.set_payload`
+    swap clears it, since it derives from the payload.
+    """
     try:
         return _WORKER_STATE[key]
     except KeyError:
         state = build(_WORKER_PAYLOAD)
         _WORKER_STATE[key] = state
+        return state
+
+
+def worker_persistent(key: str, build: Callable[[], T]) -> T:
+    """Per-worker memo that survives payload epochs (e.g. bound caches)."""
+    try:
+        return _WORKER_PERSISTENT[key]
+    except KeyError:
+        state = build()
+        _WORKER_PERSISTENT[key] = state
         return state
 
 
@@ -105,34 +177,113 @@ class WorkerPool:
         Arbitrary picklable object delivered once to each worker via
         the pool initializer; task functions read it back with
         :func:`worker_payload` / :func:`worker_state`.
+    use_shm:
+        Ship payload epochs through :mod:`repro.batch.shm` (default)
+        so a :meth:`set_payload` swap costs one pickle total instead of
+        one per worker.  When shared memory is unavailable the swap
+        falls back to restarting the pool processes (correct, but the
+        per-worker epoch-scoped state is rebuilt).
     """
 
-    def __init__(self, jobs: int, payload: Any) -> None:
+    def __init__(self, jobs: int, payload: Any, *, use_shm: bool = True) -> None:
         if jobs < 2:
             raise ValueError(f"WorkerPool needs jobs >= 2, got {jobs}")
         self.jobs = jobs
         methods = multiprocessing.get_all_start_methods()
-        method = "fork" if "fork" in methods else None
-        context = multiprocessing.get_context(method)
-        self._pool = context.Pool(
-            processes=jobs, initializer=_init_worker, initargs=(payload,)
+        self.start_method = "fork" if "fork" in methods else methods[0]
+        if self.start_method != "fork":
+            _LOG.info(
+                "worker pool start method %s",
+                kv(start_method=self.start_method, jobs=jobs, fork_available=False),
+            )
+        self.use_shm = use_shm
+        self._epoch = 0
+        self._payload: Any = payload
+        #: segment holding the *current* epoch's pickled payload; built
+        #: lazily — the initial delivery rides the initializer (free
+        #: under ``fork``), only epoch swaps need the segment
+        self._payload_spec: Optional[_shm.ShmSpec] = None
+        self._context = multiprocessing.get_context(
+            self.start_method if "fork" in methods else None
+        )
+        self._pool = self._context.Pool(
+            processes=jobs, initializer=_init_worker, initargs=(self._epoch, payload)
         )
 
-    def map(self, func: Callable[[Any], T], tasks: Iterable[Any]) -> List[T]:
+    def set_payload(self, payload: Any) -> None:
+        """Swap the payload without restarting workers (new epoch).
+
+        The previous epoch's shared segment is unlinked eagerly — live
+        worker mappings survive the unlink, and any worker that never
+        loaded the old epoch will only ever be asked for the new one.
+        """
+        self._epoch += 1
+        self._payload = payload
+        old_spec = self._payload_spec
+        self._payload_spec = None
+        if self.use_shm:
+            try:
+                self._payload_spec = _shm.put_pickled(payload)
+            except _shm.ShmUnavailable as exc:
+                _LOG.info(
+                    "shared memory unavailable, restarting pool per epoch: %s", exc
+                )
+                self.use_shm = False
+        if self._payload_spec is None:
+            # fallback: re-deliver through the initializer; workers are
+            # replaced, so epoch-scoped state rebuilds (persistent
+            # per-worker state is lost too — the disk cache tier covers
+            # cross-config reuse on such platforms)
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = self._context.Pool(
+                processes=self.jobs,
+                initializer=_init_worker,
+                initargs=(self._epoch, payload),
+            )
+        _shm.unlink_spec(old_spec)
+
+    @property
+    def epochs_served(self) -> int:
+        """How many :meth:`set_payload` swaps this pool has absorbed."""
+        return self._epoch
+
+    def map(
+        self,
+        func: Callable[[Any], T],
+        tasks: Iterable[Any],
+        timeout: Optional[float] = None,
+    ) -> List[T]:
         """Run ``func`` over ``tasks``; results in task order.
 
         A worker exception aborts the call and re-raises in the
-        coordinator (pickled through the pool's result queue).
+        coordinator (pickled through the pool's result queue).  With
+        ``timeout`` the call raises :class:`multiprocessing.TimeoutError`
+        instead of hanging when a worker dies mid-task (a killed worker
+        is respawned by the pool, but its in-flight task is lost).
         """
-        return self._pool.map(func, tasks, chunksize=1)
+        # ``ref`` self-heals crash-respawned workers: their initializer
+        # installed the pool-creation payload, and the first task they
+        # see upgrades them to the current epoch from shared memory.
+        ref = self._payload_spec
+        wrapped = [(self._epoch, ref, func, task) for task in tasks]
+        if timeout is None:
+            return self._pool.map(_run_task, wrapped, chunksize=1)
+        return self._pool.map_async(_run_task, wrapped, chunksize=1).get(timeout)
+
+    def _unlink_payload(self) -> None:
+        _shm.unlink_spec(self._payload_spec)
+        self._payload_spec = None
 
     def close(self) -> None:
         self._pool.close()
         self._pool.join()
+        self._unlink_payload()
 
     def terminate(self) -> None:
         self._pool.terminate()
         self._pool.join()
+        self._unlink_payload()
 
     def __enter__(self) -> "WorkerPool":
         return self

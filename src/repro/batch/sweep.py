@@ -19,6 +19,7 @@ lunch-break job instead of an overnight one.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -241,6 +242,7 @@ def batch_sweep(
     jobs: int = 1,
     collect_stats: bool = False,
     progress=None,
+    pool: Optional[WorkerPool] = None,
 ) -> SweepReport:
     """Fuzz ``spec.configs`` seeded configurations for soundness.
 
@@ -249,13 +251,18 @@ def batch_sweep(
     claimed bound is reported as a :class:`SweepViolation`.  Configs the
     analyzers reject (unstable, invalid) are recorded as skipped, not
     fatal — the sweep is a search, not a test run.
+
+    ``pool`` reuses an existing warm :class:`WorkerPool` (the sweep
+    spec is swapped in as a payload epoch; the caller owns the pool's
+    lifecycle and ``jobs`` is taken from it).
     """
-    jobs = resolve_jobs(jobs)
+    jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
     obs = Instrumentation.create(collect_stats, progress)
     seeds = [spec.base_seed + index for index in range(spec.configs)]
     report = SweepReport(spec=spec, jobs=jobs)
     started = time.perf_counter()
     busy_s = 0.0
+    start_method = ""
     with obs.tracer.span("batch.sweep", jobs=jobs, configs=len(seeds)):
         if jobs == 1:
             for index, seed in enumerate(seeds):
@@ -265,9 +272,15 @@ def batch_sweep(
             busy_s = time.perf_counter() - started
         else:
             tasks = chunked(seeds, jobs * 4)
-            with WorkerPool(jobs, spec) as pool:
+            if pool is not None:
+                pool.set_payload(spec)
+                own_pool = _nullcontext(pool)
+            else:
+                own_pool = WorkerPool(jobs, spec)
+            with own_pool as live_pool:
+                start_method = live_pool.start_method
                 done = 0
-                for records, busy in pool.map(_sweep_worker, tasks):
+                for records, busy in live_pool.map(_sweep_worker, tasks):
                     report.records.extend(records)
                     # repro-lint: allow[REPRO102] wall-time bookkeeping, not an analysis value
                     busy_s += busy
@@ -288,6 +301,10 @@ def batch_sweep(
             min(1.0, busy_s / (report.wall_s * jobs)) if report.wall_s > 0 else 0.0
         )
         obs.metrics.gauge("batch.sweep.worker_utilization", round(utilization, 4))
+        obs.metrics.gauge("batch.sweep.pool_reused", int(pool is not None))
+        obs.metrics.gauge(
+            "batch.sweep.start_method_fork", int(start_method == "fork")
+        )
         report.stats = obs.export()
     _LOG.info(
         "batch sweep done %s",

@@ -261,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical results, repeat runs reuse cached per-port work)",
     )
     analyze.add_argument(
+        "--no-shm", action="store_true",
+        help="ship worker state by fork/pickle instead of shared-memory "
+        "segments (bit-identical; diagnostic escape hatch)",
+    )
+    analyze.add_argument(
         "--preflight", action="store_true",
         help="verify the configuration (afdx lint rules) before analyzing; "
         "errors fail with a one-line diagnostic instead of a deep analyzer "
@@ -315,6 +320,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="persist the content-addressed bound cache in DIR "
         "(cache hits appear as explicit ledger entries)",
+    )
+    profile_cmd.add_argument(
+        "--no-shm", action="store_true",
+        help="ship worker state by fork/pickle instead of shared-memory "
+        "segments (bit-identical; diagnostic escape hatch)",
     )
 
     validate = sub.add_parser("validate", parents=[obs], help="check a configuration")
@@ -623,6 +633,7 @@ def _cmd_analyze(args: argparse.Namespace, ctx: _RunContext) -> int:
         progress=ctx.progress,
         cache_dir=args.cache_dir,
         trajectory_kernel=args.trajectory_kernel,
+        use_shm=not args.no_shm,
     )
     nc = batch.network_calculus()
     # with workers, reuse the NC result as the trajectory's Smax seed
@@ -682,6 +693,7 @@ def _cmd_profile(args: argparse.Namespace, ctx: _RunContext) -> int:
         progress=ctx.progress,
         cache_dir=args.cache_dir,
         trajectory_kernel=args.trajectory_kernel,
+        use_shm=not args.no_shm,
     )
     nc = batch.network_calculus()
     seed = (

@@ -14,7 +14,13 @@ values, namespaced by what they are:
 * ``"traj.cost"`` — the deterministic sections of the trajectory's
   :class:`~repro.obs.costmodel.CostLedger`, stored next to
   ``"traj.result"`` so a warm hit reports the same work counters as
-  the cold run that produced it.
+  the cold run that produced it;
+* ``"traj.node"`` — one meeting-tree node's batch fold
+  ``(bases, negated bases, events)``, keyed by the node's chained
+  structural fingerprint plus its sweep-varying floats — the finest
+  granularity, which is what lets *structurally identical subproblems*
+  hit across different configurations of a corpus (and across worker
+  processes, through the disk layer).
 
 Cached results are stored without their ``stats`` snapshot (counters
 are run-specific observability, not bounds) and returned as shallow
@@ -300,6 +306,19 @@ def _encode(value: object) -> Dict[str, object]:
         }
     if isinstance(value, CostLedger):
         return {"kind": "cost_ledger", "cost": value.to_dict()}
+    if (
+        isinstance(value, tuple)
+        and len(value) == 3
+        and all(isinstance(part, tuple) for part in value)
+    ):
+        # a "traj.node" batch fold: (bases, negated bases, events)
+        folded, folded_negs, batch_events = value
+        return {
+            "kind": "node_fold",
+            "folded": list(folded),
+            "folded_negs": list(folded_negs),
+            "events": [[t, c] for t, c in batch_events],
+        }
     raise TypeError(f"BoundCache cannot persist values of type {type(value)!r}")
 
 
@@ -340,6 +359,14 @@ def _decode(payload: Dict[str, object]) -> object:
         return out
     if kind == "cost_ledger":
         return CostLedger.from_dict(payload["cost"])
+    if kind == "node_fold":
+        # rebuild the exact tuple shape the fast kernel replays from
+        # its in-memory fold cache (events are (time, C) float pairs)
+        return (
+            tuple(payload["folded"]),
+            tuple(payload["folded_negs"]),
+            tuple((pair[0], pair[1]) for pair in payload["events"]),
+        )
     raise ValueError(f"unknown cache entry kind {kind!r}")
 
 

@@ -16,6 +16,7 @@ REPRO201  error     mutable default argument
 REPRO202  warning   bare ``except:``
 REPRO301  error     malformed waiver (no reason, or unknown rule id)
 REPRO302  warning   unused waiver
+REPRO401  error     SharedMemory/Pool acquired without paired cleanup
 ========  ========  ===========================================================
 
 The visitor is intentionally heuristic, not a type checker: it
@@ -117,6 +118,17 @@ RULES: List[Rule] = [
         "unused waiver",
         "A waiver that suppresses nothing outlived its hazard and "
         "will silently excuse a future regression at that line.",
+    ),
+    Rule(
+        "REPRO401",
+        Severity.ERROR,
+        "SharedMemory/Pool acquired without paired cleanup in the module",
+        "A multiprocessing.shared_memory.SharedMemory segment outlives "
+        "the process unless some path unlinks it, and a worker Pool "
+        "that is never terminated/joined leaks child processes; a "
+        "module that creates either must also contain the release "
+        "call (route acquisition through repro.batch.shm / "
+        "repro.batch.pool, which own the lifecycle).",
     ),
 ]
 
@@ -296,6 +308,7 @@ class _RuleVisitor(ast.NodeVisitor):
         self.findings: List[Finding] = []
         self._scope = _ScopeTypes(project)
         self._loop_depth = 0
+        self._module_refs: Set[str] = set()
 
     # -- plumbing -------------------------------------------------------
 
@@ -313,6 +326,16 @@ class _RuleVisitor(ast.NodeVisitor):
         )
 
     def lint_module(self, tree: ast.Module) -> List[Finding]:
+        # Module-wide reference pre-scan for REPRO401: any mention of a
+        # release call anywhere in the module (an attribute access, a
+        # bare name, a method definition) counts as the paired cleanup.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                self._module_refs.add(node.attr)
+            elif isinstance(node, ast.Name):
+                self._module_refs.add(node.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._module_refs.add(node.name)
         self._scope.learn_assignments(tree.body)
         self.visit(tree)
         return self.findings
@@ -401,7 +424,32 @@ class _RuleVisitor(ast.NodeVisitor):
                 f"random.{node.func.attr}() uses the process-global RNG; "
                 "use an explicitly seeded random.Random instance",
             )
+        self._check_resource_lifecycle(node, name)
         self.generic_visit(node)
+
+    # -- REPRO401: resource lifecycle ----------------------------------
+
+    def _check_resource_lifecycle(self, node: ast.Call, name: str) -> None:
+        if name == "SharedMemory" and not any(
+            "unlink" in ref for ref in self._module_refs
+        ):
+            self._emit(
+                "REPRO401",
+                node,
+                "SharedMemory segment created but the module never "
+                "references unlink(); POSIX segments outlive the process "
+                "— release through repro.batch.shm or unlink explicitly",
+            )
+        if name == "Pool" and not (
+            self._module_refs & {"terminate", "join", "close"}
+        ):
+            self._emit(
+                "REPRO401",
+                node,
+                "worker Pool created but the module never references "
+                "terminate()/join()/close(); leaked child processes — "
+                "use repro.batch.pool.WorkerPool or close explicitly",
+            )
 
     # -- REPRO105: wall clock ------------------------------------------
 

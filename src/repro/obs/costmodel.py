@@ -27,9 +27,15 @@ The ledger has four sections:
 ``cache``
     Hit/miss tallies per cache namespace, **including an explicit
     entry when a whole result is served from cache** — cache effects
-    are visible, never silently absent.  This is the one section that
-    legitimately differs between cold and warm runs, so
-    :func:`deterministic_section` excludes it (and only it).
+    are visible, never silently absent.  This section legitimately
+    differs between cold and warm runs, so
+    :func:`deterministic_section` excludes it.
+``runtime``
+    Execution-shape counters (shared-memory segments created, warm-pool
+    reuse, payload epochs) — facts about *how* the run executed, not
+    about the algorithm's work, so they differ across ``--jobs`` and
+    pool states and are excluded from :func:`deterministic_section`
+    alongside ``cache``.
 
 Everything here is integers and dict bookkeeping: no clocks, no float
 accumulation, no hash-order iteration.
@@ -41,6 +47,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "COST_SCHEMA_VERSION",
+    "NONDETERMINISTIC_SECTIONS",
     "CostLedger",
     "port_label",
     "record_trajectory_sweep",
@@ -62,7 +69,7 @@ def port_label(port_id: Sequence[str]) -> str:
 class CostLedger:
     """Per-analyzer deterministic work counters (see module docstring)."""
 
-    __slots__ = ("analyzer", "work", "ports", "sweeps", "cache")
+    __slots__ = ("analyzer", "work", "ports", "sweeps", "cache", "runtime")
 
     def __init__(self, analyzer: str) -> None:
         self.analyzer = analyzer
@@ -70,6 +77,7 @@ class CostLedger:
         self.ports: Dict[str, Dict[str, int]] = {}
         self.sweeps: List[Dict[str, int]] = []
         self.cache: Dict[str, Dict[str, int]] = {}
+        self.runtime: Dict[str, int] = {}
 
     # -- recording -----------------------------------------------------
 
@@ -94,6 +102,10 @@ class CostLedger:
         slot = self.cache.setdefault(name, {"hits": 0, "misses": 0})
         slot["hits"] += int(hits)
         slot["misses"] += int(misses)
+
+    def record_runtime(self, name: str, amount: int = 1) -> None:
+        """Add to an execution-shape counter (non-deterministic section)."""
+        self.runtime[name] = self.runtime.get(name, 0) + int(amount)
 
     # -- reading -------------------------------------------------------
 
@@ -121,16 +133,19 @@ class CostLedger:
             "cache": {
                 name: dict(self.cache[name]) for name in sorted(self.cache)
             },
+            "runtime": {
+                name: self.runtime[name] for name in sorted(self.runtime)
+            },
         }
 
     def snapshot(self) -> "CostLedger":
-        """An independent copy with an *empty* cache section.
+        """An independent copy with *empty* cache and runtime sections.
 
         The bound cache's memory layer stores objects by reference, so
         the ledger persisted alongside a result must not alias the live
         one (later ``record_cache`` calls would leak into the cached
-        copy) and must not bake in the recording run's cache tallies
-        (a warm run records its own).
+        copy) and must not bake in the recording run's cache tallies or
+        execution shape (a warm run records its own).
         """
         copy = CostLedger(self.analyzer)
         copy.work = dict(self.work)
@@ -155,6 +170,8 @@ class CostLedger:
                 "hits": int(dict(tally).get("hits", 0)),
                 "misses": int(dict(tally).get("misses", 0)),
             }
+        for name, value in dict(payload.get("runtime", {})).items():
+            ledger.runtime[str(name)] = int(value)
         return ledger
 
 
@@ -241,13 +258,22 @@ def trajectory_result_work(result) -> Dict[str, int]:
     }
 
 
+#: ledger sections that legitimately differ across runs of one input
+NONDETERMINISTIC_SECTIONS = ("cache", "runtime")
+
+
 def deterministic_section(cost: Mapping[str, object]) -> Dict[str, object]:
-    """A ledger dict minus its ``cache`` section.
+    """A ledger dict minus its ``cache`` and ``runtime`` sections.
 
     What remains is the byte-identity contract: equal across
-    ``PYTHONHASHSEED`` values, ``--jobs``, and cold vs warm caches.
+    ``PYTHONHASHSEED`` values, ``--jobs``, pool states, and cold vs
+    warm caches.
     """
-    return {key: value for key, value in cost.items() if key != "cache"}
+    return {
+        key: value
+        for key, value in cost.items()
+        if key not in NONDETERMINISTIC_SECTIONS
+    }
 
 
 def work_summary(

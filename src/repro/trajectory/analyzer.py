@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import struct
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -98,6 +99,12 @@ _EPS = 1e-6
 #: paths compute the same floats, so the threshold is purely a tuning
 #: knob, not a semantics switch)
 _VEC_MIN = 16
+
+#: sweep-varying floats of one ``"traj.node"`` cache address, packed
+#: losslessly: (horizon, Smin_self, Smax_self) — same encoding as
+#: ``repro.incremental.fingerprint.pack_floats`` but pre-compiled for
+#: the fold hot path
+_pack_fold_floats = struct.Struct("<3d").pack
 
 #: boundary tolerance of the `interference_count` fast path (one part
 #: in 2^50 of the quotient — 8x the worst-case division error)
@@ -273,6 +280,9 @@ class TrajectoryAnalyzer:
         self._obs = Instrumentation.create(collect_stats, progress)
         self._result: Optional[TrajectoryResult] = None
         self._prepared = False
+        # shared-memory contract columns adopted from a coordinator
+        # (``adopt_fast_tables``); None means build tables locally
+        self._adopted_tables: Optional[Tuple[Dict[str, "np.ndarray"], Dict]] = None
         self._event_memo_enabled = True  # test hook: equivalence guard
         # explain=True recording: the Smax map the final sweep ran with
         # and that sweep's complete prefix-bound dictionary
@@ -633,10 +643,47 @@ class TrajectoryAnalyzer:
             name: index for index, name in enumerate(vl_order)
         }
         self._n_vls = len(vl_order)
+        adopted_arrays: Optional[Dict[str, "np.ndarray"]] = None
+        adopted_index: Dict[PortId, Tuple[int, int]] = {}
+        if self._adopted_tables is not None:
+            adopted_arrays, adopted_index = self._adopted_tables
+        # per-port tuples plus their numpy mirrors for the batched fold
+        # (`_batch_fold`) on wide ports; the fifth numpy column maps
+        # each member's upstream port to a small per-port integer id
+        # (-1 for source members) for the serialization-gain grouping.
+        # A port covered by adopted shared-memory columns slices its
+        # arrays zero-copy and lifts the scalars out of the slice —
+        # the exporter built them with the exact expressions below, so
+        # every float is bit-identical to a local build.
         self._port_tab: Dict[PortId, Tuple] = {}
+        self._port_np: Dict[PortId, Tuple] = {}
         for pid, members in self._port_vls.items():
+            span = adopted_index.get(pid)
+            if span is not None and adopted_arrays is not None:
+                lo, hi = span
+                if hi - lo != len(members):
+                    raise ValueError(
+                        f"adopted fast tables do not match port {pid}: "
+                        f"{hi - lo} rows for {len(members)} members"
+                    )
+                c_np = adopted_arrays["C"][lo:hi]
+                t_np = adopted_arrays["T"][lo:hi]
+                g_np = adopted_arrays["G"][lo:hi]
+                smin_np = adopted_arrays["SMIN"][lo:hi]
+                mup_np = adopted_arrays["MUP"][lo:hi]
+                self._port_tab[pid] = (
+                    members,
+                    tuple(c_np.tolist()),
+                    tuple(t_np.tolist()),
+                    tuple(g_np.tolist()),
+                    tuple(self._upstream[(m, pid)] for m in members),
+                    tuple(smin_np.tolist()),
+                    {m: index for index, m in enumerate(members)},
+                )
+                self._port_np[pid] = (c_np, t_np, g_np, smin_np, mup_np)
+                continue
             rate = self._port_rate[pid]
-            self._port_tab[pid] = (
+            tab = (
                 members,
                 tuple(network.vl(m).s_max_bits / rate for m in members),
                 tuple(network.vl(m).bag_us for m in members),
@@ -645,12 +692,7 @@ class TrajectoryAnalyzer:
                 tuple(self._smin[(m, pid)] for m in members),
                 {m: index for index, m in enumerate(members)},
             )
-        # numpy mirrors of the per-port contract columns, for the
-        # batched fold (`_batch_fold`) on wide ports; the fifth column
-        # maps each member's upstream port to a small per-port integer
-        # id (-1 for source members) for the serialization-gain grouping
-        self._port_np: Dict[PortId, Tuple] = {}
-        for pid, tab in self._port_tab.items():
+            self._port_tab[pid] = tab
             upstream_ids: Dict[PortId, int] = {}
             mup_id = []
             for up in tab[4]:
@@ -688,6 +730,84 @@ class TrajectoryAnalyzer:
         # sweep is replayed from here without touching the tree
         self._sweep_memo: Dict[str, Tuple[bytes, Dict]] = {}
         self._cache_counters["sweep_memo"] = [0, 0]
+        # per-port structural digests feeding the cross-config
+        # ``"traj.node"`` cache namespace (`_port_struct_pack`)
+        self._port_struct_packs: Dict[PortId, bytes] = {}
+        if self.incremental:
+            self._cache_counters["node"] = [0, 0]
+
+    def export_fast_tables(
+        self,
+    ) -> Tuple[Dict[str, "np.ndarray"], Dict[PortId, Tuple[int, int]]]:
+        """Flat concatenation of the fast kernel's tables for shm shipping.
+
+        Returns ``(columns, index)``: ``columns`` holds the per-port
+        contract columns ``C``/``T``/``G``/``SMIN``/``MUP`` concatenated
+        over the sorted port order plus the current ``Smax`` map packed
+        over its sorted keys (``SMAX``); ``index`` maps each port to its
+        ``(start, stop)`` slice.  A worker rebuilds bit-identical tables
+        from these via :meth:`adopt_fast_tables` without re-walking the
+        network contracts.
+        """
+        if self.kernel != "fast" or not self._prepared:
+            raise RuntimeError(
+                "export_fast_tables needs a prepared fast-kernel analyzer"
+            )
+        index: Dict[PortId, Tuple[int, int]] = {}
+        parts: Dict[str, List["np.ndarray"]] = {
+            "C": [], "T": [], "G": [], "SMIN": [], "MUP": []
+        }
+        start = 0
+        for pid in sorted(self._port_np):
+            c_np, t_np, g_np, smin_np, mup_np = self._port_np[pid]
+            index[pid] = (start, start + len(c_np))
+            start += len(c_np)
+            parts["C"].append(c_np)
+            parts["T"].append(t_np)
+            parts["G"].append(g_np)
+            parts["SMIN"].append(smin_np)
+            parts["MUP"].append(mup_np)
+        empty = {
+            "C": np.float64, "T": np.float64, "G": np.intp,
+            "SMIN": np.float64, "MUP": np.intp,
+        }
+        columns = {
+            key: (
+                np.concatenate(arrays)
+                if arrays
+                else np.empty(0, dtype=empty[key])
+            )
+            for key, arrays in parts.items()
+        }
+        columns["SMAX"] = np.array(
+            [self._smax[key] for key in sorted(self._smax)], dtype=np.float64
+        )
+        return columns, index
+
+    def adopt_fast_tables(
+        self,
+        columns: Dict[str, "np.ndarray"],
+        index: Dict[PortId, Tuple[int, int]],
+    ) -> Dict[FlowPortKey, float]:
+        """Serve the fast kernel's contract columns from shared arrays.
+
+        Must be called before :meth:`prepare`.  Returns the ``Smax``
+        seed reconstructed from the exported pack — the key order is
+        recomputed from the network (:func:`tree_prefixes` sorted), the
+        same order :meth:`export_fast_tables` packed, so the floats land
+        on their keys bit for bit.
+        """
+        if self._prepared:
+            raise RuntimeError("adopt_fast_tables must precede prepare()")
+        self._adopted_tables = (columns, dict(index))
+        keys = sorted(tree_prefixes(self.network))
+        smax = columns["SMAX"]
+        if len(keys) != len(smax):
+            raise ValueError(
+                f"adopted Smax pack has {len(smax)} entries "
+                f"for {len(keys)} tree prefixes"
+            )
+        return {key: float(smax[pos]) for pos, key in enumerate(keys)}
 
     def _smax_slice(self, port: PortId) -> List[float]:
         """This sweep's ``Smax`` values of one port's members, in order."""
@@ -795,6 +915,49 @@ class TrajectoryAnalyzer:
         for port in self._walk_tree_ports[vl_name]:
             digest.update(self._port_pack(port))
         return digest.hexdigest()
+
+    def _port_struct_pack(self, port: PortId) -> bytes:
+        """Digest of one port's sweep-invariant competitor table.
+
+        Covers exactly the structural inputs a node fold reads from the
+        flat tables — the sorted member names and their ``C`` / ``T`` /
+        ``Smin`` columns.  Deliberately *excludes* the global VL index
+        column (membership bookkeeping, never a cached float) and the
+        upstream grouping (serialization gain is not part of the cached
+        fold), so structurally identical ports hash alike even when the
+        surrounding configuration differs.
+        """
+        pack = self._port_struct_packs.get(port)
+        if pack is None:
+            from repro.incremental.fingerprint import pack_floats
+
+            members, mc, mt, _mg, _mup, msmin, _mpos = self._port_tab[port]
+            digest = hashlib.sha256("\x00".join(members).encode())
+            digest.update(pack_floats(mc))
+            digest.update(pack_floats(mt))
+            digest.update(pack_floats(msmin))
+            pack = digest.digest()
+            self._port_struct_packs[port] = pack
+        return pack
+
+    def _node_fp(self, parent_fp: Optional[bytes], port: PortId) -> bytes:
+        """Chained structural fingerprint of one meeting-tree node.
+
+        A node's batch fold is a function of the port path walked from
+        the root (which determines the already-met set and therefore
+        the added positions) plus the path ports' competitor tables —
+        so the fingerprint chains each path port's
+        :meth:`_port_struct_pack` down the DFS, seeded with the
+        serialization mode at the root.  The sweep-varying inputs
+        (horizon, ``Smin``/``Smax`` of the studied VL, the port's packed
+        ``Smax`` slice) are appended per entry at the probe site.
+        """
+        seed = (
+            parent_fp
+            if parent_fp is not None
+            else f"trajnode:{self.serialization_mode}".encode()
+        )
+        return hashlib.sha256(seed + self._port_struct_pack(port)).digest()
 
     def cache_stats(self) -> Dict[str, Tuple[int, int]]:
         """Per-cache ``(hits, misses)`` of the per-node memo caches."""
@@ -1375,6 +1538,9 @@ class TrajectoryAnalyzer:
         smax_slice = self._smax_slice
         smax_np = self._smax_np
         port_pack = self._port_pack
+        node_cache = self._walk_cache
+        node_counters = self._cache_counters.get("node")
+        node_fp = self._node_fp
 
         horizon = self._root_horizon(root)
         met = bytearray(self._n_vls)
@@ -1501,6 +1667,24 @@ class TrajectoryAnalyzer:
                         pos_a, gidx_a, c_a, t_a, ms_a = vec
                         fkey = (smin_self, smax_self, port_pack(port))
                         cached_fold = node[2].get(fkey)
+                        entry_fp = None
+                        if cached_fold is None and node_cache is not None:
+                            # cross-config probe: the shared BoundCache
+                            # serves structurally identical node folds
+                            # computed by other configs and processes
+                            entry_fp = hashlib.sha256(
+                                node[3]
+                                + _pack_fold_floats(
+                                    horizon, smin_self, smax_self
+                                )
+                                + fkey[2]
+                            ).hexdigest()
+                            cached_fold = node_cache.get("traj.node", entry_fp)
+                            if cached_fold is not None:
+                                node_counters[0] += 1
+                                node[2][fkey] = cached_fold
+                            else:
+                                node_counters[1] += 1
                         if cached_fold is None:
                             offs = smax_np(port)[pos_a] - smin_self
                             if safe:
@@ -1521,11 +1705,16 @@ class TrajectoryAnalyzer:
                                     float(t_a[pos]),
                                     float(offs[pos]),
                                 )
-                            node[2][fkey] = (
+                            fold_value = (
                                 folded,
                                 folded_negs,
                                 tuple(events[event_start:]),
                             )
+                            node[2][fkey] = fold_value
+                            if entry_fp is not None:
+                                node_cache.put(
+                                    "traj.node", entry_fp, fold_value
+                                )
                         else:
                             folded, folded_negs, batch_events = cached_fold
                             base_workload = _replay_add(
@@ -1596,7 +1785,7 @@ class TrajectoryAnalyzer:
             for child in children.get(port, ()):
                 child_node = kids.get(child)
                 if child_node is None:
-                    child_node = [None, {}, {}]
+                    child_node = [None, {}, {}, node_fp(node[3], child)]
                     kids[child] = child_node
                 visit(
                     child, child_node, port, depth + 1,
@@ -1619,7 +1808,7 @@ class TrajectoryAnalyzer:
 
         root_node = meet_tree.get(root)
         if root_node is None:
-            root_node = [None, {}, {}]
+            root_node = [None, {}, {}, node_fp(None, root)]
             meet_tree[root] = root_node
         visit(root, root_node, None, 0, 0.0, 0.0, 0.0, n_root)
 

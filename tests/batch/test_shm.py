@@ -1,0 +1,103 @@
+"""Shared-memory lifecycle: ownership, attach semantics, crash safety.
+
+The coordinator owns every segment it creates (``shm._OWNED``); workers
+attach without registering with the resource tracker.  These tests pin
+the lifecycle contract the batch engine and the REPRO401 lint rule are
+built on: nothing leaks after a normal close, and nothing leaks after a
+worker is SIGKILLed mid-task.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.batch import shm
+from repro.batch.pool import WorkerPool, worker_payload
+
+
+class TestShmArena:
+    def test_roundtrip_and_read_only_views(self):
+        arrays = {
+            "c": np.arange(6, dtype=np.float64),
+            "t": np.array([1.0, 2.5], dtype=np.float64),
+        }
+        arena = shm.ShmArena(arrays)
+        try:
+            assert arena.spec.name in shm.active_owned()
+            attached, segment = shm.attach(arena.spec)
+            try:
+                assert sorted(attached) == ["c", "t"]
+                np.testing.assert_array_equal(attached["c"], arrays["c"])
+                np.testing.assert_array_equal(attached["t"], arrays["t"])
+                assert not attached["c"].flags.writeable
+            finally:
+                segment.close()
+        finally:
+            arena.close_and_unlink()
+        assert arena.spec.name not in shm.active_owned()
+
+    def test_close_and_unlink_is_idempotent(self):
+        arena = shm.ShmArena({"x": np.zeros(3)})
+        arena.close_and_unlink()
+        arena.close_and_unlink()
+        assert shm.active_owned() == []
+
+
+class TestPickledSpec:
+    def test_roundtrip_and_unlink(self):
+        payload = {"tables": [1, 2, 3], "mode": "safe"}
+        spec = shm.put_pickled(payload)
+        try:
+            assert spec.name in shm.active_owned()
+            assert shm.get_pickled(spec) == payload
+        finally:
+            shm.unlink_spec(spec)
+        assert spec.name not in shm.active_owned()
+
+
+def _pid(_task):
+    return os.getpid()
+
+
+def _echo_payload(_task):
+    return worker_payload()
+
+
+def _kill_self(_task):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestPoolShmLifecycle:
+    def test_no_leak_after_normal_exit(self):
+        pool = WorkerPool(2, {"epoch": 0})
+        try:
+            pool.set_payload({"epoch": 1})  # creates the shm payload spec
+            assert pool.map(_echo_payload, [0, 1]) == [{"epoch": 1}] * 2
+        finally:
+            pool.close()
+        assert shm.active_owned() == []
+
+    def test_payload_epochs_swap_without_leaking(self):
+        with WorkerPool(2, None) as pool:
+            for epoch in range(3):
+                pool.set_payload({"epoch": epoch})
+                assert pool.map(_echo_payload, [0])[0] == {"epoch": epoch}
+            # exactly one live segment per pool: the current epoch's spec
+            assert len(shm.active_owned()) <= 1
+        assert shm.active_owned() == []
+
+    def test_no_leak_after_worker_sigkill(self):
+        """A SIGKILLed worker hangs the in-flight map; terminate() must
+        still release every owned segment."""
+        pool = WorkerPool(2, None)
+        try:
+            pool.set_payload({"epoch": 0})
+            assert pool.map(_pid, [0])  # payload spec live, workers warm
+            with pytest.raises(multiprocessing.TimeoutError):
+                pool.map(_kill_self, [0], timeout=15.0)
+        finally:
+            pool.terminate()
+        assert shm.active_owned() == []

@@ -132,3 +132,21 @@ class TestResultCodec:
             _encode(object())
         with pytest.raises(ValueError):
             _decode({"kind": "mystery"})
+
+    def test_node_fold_round_trip(self, tmp_path):
+        """The ``traj.node`` fold value survives the JSON disk tier
+        exactly (repr round-trips every float)."""
+        fold = (
+            (1.25, 3.0000000000000004, 7.1e-300),
+            (-0.5, 0.0),
+            ((12.5, 1500.0), (25.0, 64.0)),
+        )
+        decoded = _decode(json.loads(json.dumps(_encode(fold))))
+        assert decoded == fold
+        assert isinstance(decoded, tuple)
+        assert all(isinstance(part, tuple) for part in decoded)
+
+        cache = BoundCache(cache_dir=tmp_path)
+        cache.put("traj.node", "aa" + "0" * 62, fold)
+        fresh = BoundCache(cache_dir=tmp_path)
+        assert fresh.get("traj.node", "aa" + "0" * 62) == fold

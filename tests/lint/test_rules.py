@@ -190,3 +190,83 @@ class TestHygieneRules:
     def test_syntax_error_is_reported_not_raised(self):
         result = lint_source("def broken(:\n", path="bad.py")
         assert result.parse_failures
+
+
+class TestResourceLifecycle:
+    def test_shared_memory_without_unlink_fires(self):
+        assert "REPRO401" in _ids(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def export(payload):
+                seg = SharedMemory(create=True, size=len(payload))
+                seg.buf[:] = payload
+                return seg.name
+            """
+        )
+
+    def test_shared_memory_with_unlink_is_clean(self):
+        assert _ids(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def roundtrip(payload):
+                seg = SharedMemory(create=True, size=len(payload))
+                try:
+                    seg.buf[:] = payload
+                finally:
+                    seg.close()
+                    seg.unlink()
+            """
+        ) == []
+
+    def test_shared_memory_with_helper_named_unlink_is_clean(self):
+        # any module-level mention of a release call pairs the
+        # acquisition — close_and_unlink() counts
+        assert _ids(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def acquire(n):
+                return SharedMemory(create=True, size=n)
+
+            def close_and_unlink(seg):
+                seg.close()
+                seg.unlink()
+            """
+        ) == []
+
+    def test_pool_without_teardown_fires(self):
+        assert "REPRO401" in _ids(
+            """
+            import multiprocessing
+
+            def fan_out(tasks):
+                pool = multiprocessing.get_context("fork").Pool(4)
+                return pool.map(str, tasks)
+            """
+        )
+
+    def test_pool_with_terminate_is_clean(self):
+        assert _ids(
+            """
+            import multiprocessing
+
+            def fan_out(tasks):
+                pool = multiprocessing.get_context("fork").Pool(4)
+                try:
+                    return pool.map(str, tasks)
+                finally:
+                    pool.terminate()
+                    pool.join()
+            """
+        ) == []
+
+    def test_severity_is_error(self):
+        result = lint_source(
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "seg = SharedMemory(create=True, size=8)\n",
+            path="snippet.py",
+        )
+        assert [f.rule_id for f in result.active] == ["REPRO401"]
+        assert result.active[0].severity is Severity.ERROR

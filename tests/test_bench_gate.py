@@ -117,6 +117,64 @@ class TestCompare:
         assert got == {("B.json", key): "more-work"}
 
 
+class TestJobsMismatch:
+    def _rows(self, base, now):
+        return {
+            key: status
+            for _f, key, status, *_ in bench_gate.compare(
+                {"B.json": now}, {"B.json": base},
+                tolerance=0.30, min_seconds=0.01,
+            )
+        }
+
+    def test_mismatch_skips_timings_keeps_work(self):
+        base = {"jobs": 4, "samples": {"cold_s": 1.0, "work.tr.sweeps": 4}}
+        now = {"jobs": 1, "samples": {"cold_s": 9.0, "work.tr.sweeps": 4}}
+        rows = self._rows(base, now)
+        assert rows["(jobs)"] == "jobs-mismatch"
+        assert "cold_s" not in rows  # wall times incomparable, no verdict
+        assert rows["work.tr.sweeps"] == "ok"  # work is jobs-invariant
+
+    def test_work_regression_flagged_despite_mismatch(self):
+        base = {"jobs": 4, "samples": {"work.tr.sweeps": 4}}
+        now = {"jobs": 1, "samples": {"work.tr.sweeps": 5}}
+        assert self._rows(base, now)["work.tr.sweeps"] == "more-work"
+
+    def test_same_jobs_compares_timings(self):
+        base = {"jobs": 4, "samples": {"cold_s": 1.0}}
+        now = {"jobs": 4, "samples": {"cold_s": 2.0}}
+        rows = self._rows(base, now)
+        assert "(jobs)" not in rows
+        assert rows["cold_s"] == "slower"
+
+    def test_old_flat_baseline_means_jobs_one(self):
+        # pre-jobs baselines keep working, treated as jobs=1
+        base = {"cold_s": 1.0}
+        now = {"jobs": 1, "samples": {"cold_s": 1.1}}
+        rows = self._rows(base, now)
+        assert "(jobs)" not in rows
+        assert rows["cold_s"] == "ok"
+
+    def test_mismatch_alone_is_not_fatal_in_strict(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_x.json").write_text(
+            json.dumps([{"jobs": 1, "cold_s": 9.0}])
+        )
+        baselines = tmp_path / "baselines.json"
+        baselines.write_text(
+            json.dumps(
+                {"BENCH_x.json": {"jobs": 4, "samples": {"cold_s": 1.0}}}
+            )
+        )
+        args = [
+            "--results-dir", str(results), "--baselines", str(baselines),
+            "--strict",
+        ]
+        assert bench_gate.main(args) == 0
+        assert "jobs-mismatch" in capsys.readouterr().out
+
+
 class TestMain:
     def _setup(self, tmp_path, latest, baselines=None):
         results = tmp_path / "results"
@@ -133,7 +191,9 @@ class TestMain:
         args = self._setup(tmp_path, {"cold_s": 1.0, "n": 3})
         assert bench_gate.main(args + ["--update-baselines"]) == 0
         doc = json.loads((tmp_path / "baselines.json").read_text())
-        assert doc == {"BENCH_x.json": {"cold_s": 1.0}}
+        assert doc == {
+            "BENCH_x.json": {"jobs": 1, "samples": {"cold_s": 1.0}}
+        }
 
     def test_advisory_by_default(self, tmp_path, capsys):
         args = self._setup(tmp_path, {"cold_s": 2.0}, baselines={"cold_s": 1.0})
@@ -161,7 +221,10 @@ class TestMain:
         assert bench_gate.main(args + ["--update-baselines"]) == 0
         doc = json.loads((tmp_path / "baselines.json").read_text())
         assert doc == {
-            "BENCH_x.json": {"cold_s": 1.0, "work.tr.sweeps": 4}
+            "BENCH_x.json": {
+                "jobs": 1,
+                "samples": {"cold_s": 1.0, "work.tr.sweeps": 4},
+            }
         }
 
     def test_strict_fails_on_more_work(self, tmp_path, capsys):

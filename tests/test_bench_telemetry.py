@@ -18,12 +18,17 @@ class TestAppendRecord:
     def test_stamps_schema_timestamp_and_git_rev(self, tmp_path):
         path = tmp_path / "BENCH_x.json"
         record = telemetry.append_record(path, {"cold_s": 1.0})
-        assert record["bench_schema"] == telemetry.BENCH_SCHEMA_VERSION == 2
+        assert record["bench_schema"] == telemetry.BENCH_SCHEMA_VERSION == 3
         assert record["cold_s"] == 1.0
         assert "T" in record["timestamp"]  # ISO-8601 UTC
         assert "git_rev" in record  # short hash, or None outside a checkout
         (stored,) = json.loads(path.read_text())
         assert stored == record
+
+    def test_stamps_jobs_default_one(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        assert telemetry.append_record(path, {"cold_s": 1.0})["jobs"] == 1
+        assert telemetry.append_record(path, {"jobs": 4})["jobs"] == 4
 
     def test_appends_to_existing_history(self, tmp_path):
         path = tmp_path / "BENCH_x.json"

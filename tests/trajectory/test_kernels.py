@@ -94,12 +94,17 @@ class TestRandomConfigs:
 @pytest.mark.slow
 class TestAtScale:
     def test_thousand_vl_smoke(self):
-        """Seeded 1000-VL industrial configuration, fast kernel only.
+        """Seeded 1000-VL industrial configuration, fast kernel.
 
-        Bit-identity at this size is covered (slowly) by the benchmark
-        equivalence run; here we assert the fast kernel completes and
-        produces sound-looking bounds for every path.
+        Reference-kernel bit-identity at this size is covered (slowly)
+        by the benchmark equivalence run; here we assert the fast
+        kernel completes with sound-looking bounds for every path, and
+        that the ``--jobs 4`` warm-pool execution shape reproduces the
+        sequential floats exactly (the fleet engine's contract at the
+        scale the paper targets).
         """
+        from repro.batch import BatchAnalyzer, shm
+        from repro.batch.pool import WorkerPool
         from repro.configs.industrial import (
             IndustrialConfigSpec,
             industrial_network,
@@ -111,3 +116,16 @@ class TestAtScale:
         for key, bound in result.paths.items():
             assert bound.total_us > 0.0, key
             assert bound.busy_period_us >= 0.0, key
+
+        with WorkerPool(4, None) as pool:
+            parallel = BatchAnalyzer(
+                network, jobs=4, serialization="windowed",
+                trajectory_kernel="fast", pool=pool,
+            ).trajectory()
+        assert set(parallel.paths) == set(result.paths)
+        for key in result.paths:
+            for name in FLOAT_FIELDS:
+                assert getattr(parallel.paths[key], name) == getattr(
+                    result.paths[key], name
+                ), (key, name)
+        assert shm.active_owned() == []
