@@ -7,7 +7,7 @@ export PYTHONPATH
 
 .PHONY: check test lint bench bench-batch bench-scaling bench-incremental \
 	bench-explain bench-throughput bench-gate bench-baselines \
-	profile-smoke kernel-gate
+	profile-smoke obs-smoke kernel-gate
 
 check:
 	sh scripts/check.sh
@@ -62,6 +62,12 @@ bench-baselines:
 # a byte-identical deterministic section across runs and --jobs.
 profile-smoke:
 	python scripts/profile_smoke.py
+
+# Run-history smoke: analyze into a temp history dir across simulated
+# git revs and --jobs; afdx obs list/show/diff exit 0, drift verdict
+# clean, injected bounds change detected.
+obs-smoke:
+	python scripts/obs_smoke.py
 
 # Trajectory kernel equivalence: fast vs reference bounds bit-identical
 # on every scenario, across --jobs and cold/warm incremental cache.

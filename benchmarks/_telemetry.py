@@ -87,6 +87,53 @@ def load_history(path: Path) -> List[Dict[str, object]]:
     return history if isinstance(history, list) else []
 
 
+def record_history(
+    command: str,
+    *,
+    config: Optional[Dict[str, object]] = None,
+    config_digest: Optional[str] = None,
+    bounds_digest: Optional[str] = None,
+    work: Optional[Dict[str, Dict[str, int]]] = None,
+    execution: Optional[Dict[str, object]] = None,
+    options: Optional[Dict[str, object]] = None,
+    wall_ms: float = 0.0,
+) -> Optional[Dict[str, object]]:
+    """Mirror a bench record into the persistent run history.
+
+    No-op unless ``AFDX_HISTORY_DIR`` (or an explicit history root via
+    :func:`repro.obs.history.resolve_history_dir`) is set — bench runs
+    then land in the same store ``afdx obs drift`` scans, so a bench
+    regression and a CLI-run drift show up in one query.  Best-effort:
+    a failed append never fails the benchmark.
+    """
+    from repro.obs.history import (
+        RunHistory,
+        build_run_record,
+        git_revision,
+        resolve_history_dir,
+    )
+
+    root = resolve_history_dir(None)
+    if root is None:
+        return None
+    record = build_run_record(
+        command=command,
+        config=config,
+        config_digest=config_digest,
+        bounds_digest=bounds_digest,
+        work=work,
+        execution=execution,
+        options=options,
+        wall_ms=wall_ms,
+        git_rev=git_revision(),
+    )
+    try:
+        RunHistory(root).append(record)
+    except (OSError, ValueError):
+        return None
+    return record
+
+
 def append_record(
     path: Path, record: Dict[str, object], keep: Optional[int] = None
 ) -> Dict[str, object]:

@@ -36,7 +36,7 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "benchmarks"))
 
-from _telemetry import append_record  # noqa: E402
+from _telemetry import append_record, record_history  # noqa: E402
 
 from repro.batch.corpus import CorpusSpec, analyze_corpus  # noqa: E402
 from repro.batch.pool import WorkerPool, resolve_jobs  # noqa: E402
@@ -111,6 +111,20 @@ def main(argv=None):
     }
 
     append_record(RESULTS_PATH, record)
+    import hashlib
+
+    record_history(
+        "bench-throughput",
+        config={
+            "configs": spec.configs,
+            "n_virtual_links": spec.n_virtual_links,
+        },
+        config_digest=hashlib.sha256(repr(spec).encode()).hexdigest(),
+        bounds_digest=cold.digest,
+        work=record["work"],
+        execution={"jobs": jobs, "cpu_count": record["cpu_count"]},
+        wall_ms=round((cold_s + warm_pool_s + warm_cache_s) * 1e3, 3),
+    )
 
     print(
         f"corpus({spec.configs} configs, {spec.n_virtual_links} VLs, "

@@ -41,6 +41,9 @@ python scripts/kernel_gate.py --jobs 4 --warm-pool
 echo "== profile smoke (afdx profile on fig1; traces valid; ledger byte-identical) =="
 python scripts/profile_smoke.py
 
+echo "== obs smoke (run history across revs + --jobs; obs list/show/diff; clean drift) =="
+python scripts/obs_smoke.py
+
 echo "== bench-regression gate (advisory; ±30% wall, exact work counters) =="
 python scripts/bench_gate.py
 

@@ -32,7 +32,13 @@ from repro.batch.corpus import (
     analyze_corpus,
     corpus_network,
 )
-from repro.batch.pool import WorkerPool, chunked
+from repro.batch.pool import (
+    LANE_BASE,
+    WorkerPool,
+    chunked,
+    worker_emit,
+    worker_lane,
+)
 from repro.batch.sweep import (
     SweepConfigRecord,
     SweepReport,
@@ -43,8 +49,11 @@ from repro.batch.sweep import (
 
 __all__ = [
     "BatchAnalyzer",
+    "LANE_BASE",
     "WorkerPool",
     "chunked",
+    "worker_emit",
+    "worker_lane",
     "SweepSpec",
     "SweepViolation",
     "SweepConfigRecord",

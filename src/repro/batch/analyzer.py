@@ -63,6 +63,7 @@ from repro.batch.pool import (
     WorkerPool,
     chunked,
     resolve_jobs,
+    worker_emit,
     worker_persistent,
     worker_state,
 )
@@ -141,12 +142,16 @@ def _nc_worker(
     import os
 
     analyzer = worker_state("netcalc", _build_nc_analyzer)
+    if task:
+        worker_emit("heartbeat", at=str(task[0][0]))
     start = time.perf_counter()
     out = [
         (port_id, analyzer.analyze_port_cached(port_id, buckets))
         for port_id, buckets in task
     ]
-    return out, os.getpid(), time.perf_counter() - start
+    busy = time.perf_counter() - start
+    worker_emit("chunk", phase="netcalc", n=len(task))
+    return out, os.getpid(), busy
 
 
 def _build_trajectory_analyzer(payload: _Payload) -> TrajectoryAnalyzer:
@@ -194,9 +199,12 @@ def _trajectory_worker(
     analyzer = worker_state("trajectory", _build_trajectory_analyzer)
     if smax_updates:
         analyzer.apply_smax_updates(smax_updates)
+    if chunk:
+        worker_emit("heartbeat", at=str(chunk[0]))
     start = time.perf_counter()
     bounds = analyzer.sweep_vls(chunk)
     busy = time.perf_counter() - start
+    worker_emit("chunk", phase="trajectory", n=len(chunk))
     return bounds, analyzer.cache_stats(), os.getpid(), busy
 
 
@@ -220,6 +228,15 @@ class _PoolStats:
     shm_tables: int = 0
     pool_reused: int = 0
     start_method: str = ""
+    pool_epoch: int = 0
+    shm_segments: int = 0
+
+    def record_pool(self, pool: WorkerPool, external: bool) -> None:
+        """Capture the pool's shape at phase start (epoch, shm, borrow)."""
+        self.pool_reused = int(external)
+        self.start_method = pool.start_method
+        self.pool_epoch = pool.epochs_served
+        self.shm_segments = len(_shm.active_owned())
 
     def record_task(self, pid: int, busy: float) -> None:
         self.tasks += 1
@@ -387,8 +404,7 @@ class BatchAnalyzer:
             "batch.netcalc", jobs=self.jobs, n_ports=len(order), n_levels=len(levels)
         ) as phase_span:
             with self._pool_for(payload) as pool:
-                stats.pool_reused = int(pool is self._external_pool)
-                stats.start_method = pool.start_method
+                stats.record_pool(pool, pool is self._external_pool)
                 done = 0
                 for level in levels:
                     tasks = chunked(
@@ -515,8 +531,7 @@ class BatchAnalyzer:
                 n_chunks=len(chunks),
             ) as phase_span:
                 with self._pool_for(payload) as pool:
-                    stats.pool_reused = int(pool is self._external_pool)
-                    stats.start_method = pool.start_method
+                    stats.record_pool(pool, pool is self._external_pool)
                     for _ in range(self.max_refinements):
                         if self.explain:
                             # the map this round's workers sweep with: the
@@ -660,4 +675,8 @@ class BatchAnalyzer:
         metrics.gauge(
             f"batch.{phase}.start_method_fork",
             int(stats.start_method == "fork"),
+        )
+        metrics.gauge(f"batch.{phase}.pool_epoch", stats.pool_epoch)
+        metrics.gauge(
+            f"batch.{phase}.shm_segments_active", stats.shm_segments
         )

@@ -30,6 +30,8 @@ from repro.batch.pool import (
     WorkerPool,
     chunked,
     resolve_jobs,
+    telemetry_active,
+    worker_emit,
     worker_payload,
     worker_persistent,
 )
@@ -40,6 +42,7 @@ from repro.network.topology import Network
 from repro.network.virtual_link import STANDARD_BAGS_MS
 from repro.obs.instrument import Instrumentation
 from repro.obs.logging import get_logger, kv
+from repro.obs.telemetry import fleet_drain
 from repro.trajectory.analyzer import analyze_trajectory
 
 __all__ = [
@@ -189,6 +192,18 @@ class CorpusReport:
         return sum(record.n_paths for record in self.records)
 
 
+def _cache_tally(cache) -> Tuple[int, int]:
+    """(hits, misses) from a BoundCache counter snapshot.
+
+    ``hits`` already folds the disk tier in (a disk hit increments
+    both ``hits`` and ``disk_hits``).
+    """
+    if cache is None:
+        return (0, 0)
+    stats = cache.stats()
+    return (int(stats.get("hits", 0)), int(stats.get("misses", 0)))
+
+
 def _corpus_worker(task: List[int]) -> List[CorpusRecord]:
     spec, cache_dir = worker_payload()
     cache = None
@@ -202,7 +217,21 @@ def _corpus_worker(task: List[int]) -> List[CorpusRecord]:
         # corpora/configs with its in-memory LRU intact (the disk tier
         # shares entries across workers and processes)
         cache = worker_persistent(f"bound_cache:{cache_dir}", build)
-    return [analyze_one_config(spec, index, cache) for index in task]
+    live = telemetry_active()
+    records: List[CorpusRecord] = []
+    for index in task:
+        before = _cache_tally(cache) if live else (0, 0)
+        records.append(analyze_one_config(spec, index, cache))
+        if live:
+            after = _cache_tally(cache)
+            worker_emit(
+                "config",
+                n=1,
+                index=index,
+                cache_hits=after[0] - before[0],
+                cache_misses=after[1] - before[1],
+            )
+    return records
 
 
 def analyze_corpus(
@@ -226,6 +255,7 @@ def analyze_corpus(
     obs = Instrumentation.create(collect_stats, progress)
     report = CorpusReport(spec=spec, jobs=jobs)
     indices = list(range(spec.configs))
+    fleet_snapshot: Optional[Dict[str, object]] = None
     started = time.perf_counter()
     with obs.tracer.span("batch.corpus", jobs=jobs, configs=len(indices)):
         if jobs == 1 and pool is None:
@@ -245,14 +275,29 @@ def analyze_corpus(
                 pool.set_payload(payload)
                 own_pool = _nullcontext(pool)
             else:
-                own_pool = WorkerPool(jobs, payload)
+                # a fresh pool opens its telemetry channel iff someone
+                # is watching; a borrowed warm pool keeps whatever its
+                # owner chose (its queue, when present, is drained here)
+                own_pool = WorkerPool(
+                    jobs, payload, telemetry=progress is not None
+                )
             with own_pool as live_pool:
-                done = 0
-                for records in live_pool.map(_corpus_worker, tasks):
-                    report.records.extend(records)
-                    done += len(records)
-                    if obs.progress:
-                        obs.progress.update("batch.corpus", done, len(indices))
+                fleet, drain = fleet_drain(live_pool, progress, len(indices))
+                try:
+                    done = 0
+                    for records in live_pool.map(_corpus_worker, tasks):
+                        report.records.extend(records)
+                        done += len(records)
+                        if obs.progress and fleet is None:
+                            obs.progress.update(
+                                "batch.corpus", done, len(indices)
+                            )
+                finally:
+                    if drain is not None:
+                        drain.stop()
+                    if fleet is not None:
+                        fleet.close()
+                        fleet_snapshot = fleet.snapshot()
         if obs.progress:
             obs.progress.update("batch.corpus", len(indices), len(indices))
     report.wall_s = time.perf_counter() - started
@@ -263,6 +308,9 @@ def analyze_corpus(
         obs.metrics.gauge("batch.corpus.wall_ms", round(report.wall_s * 1e3, 3))
         obs.metrics.gauge("batch.corpus.pool_reused", int(pool is not None))
         report.stats = obs.export()
+    if fleet_snapshot is not None:
+        report.stats = dict(report.stats or {})
+        report.stats["fleet"] = fleet_snapshot
     _LOG.info(
         "corpus analyzed %s",
         kv(

@@ -39,12 +39,16 @@ import os
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.batch import shm as _shm
-from repro.obs.logging import get_logger, kv
+from repro.obs.logging import get_logger, kv, set_worker_lane
 
 __all__ = [
+    "LANE_BASE",
     "WorkerPool",
     "chunked",
     "resolve_jobs",
+    "telemetry_active",
+    "worker_emit",
+    "worker_lane",
     "worker_payload",
     "worker_persistent",
     "worker_state",
@@ -53,6 +57,12 @@ __all__ = [
 T = TypeVar("T")
 
 _LOG = get_logger("batch")
+
+#: First worker-lane id.  Must match the Chrome-trace export's
+#: synthetic worker tid base (``repro.obs.tracefile._WORKER_TID_BASE``)
+#: so a ``[w101]`` log line, a lane-101 telemetry event and the tid-101
+#: trace lane all name the same worker slot.
+LANE_BASE = 100
 
 #: Payload slot filled by :func:`_init_worker` in every pool process.
 _WORKER_PAYLOAD: Optional[Any] = None
@@ -64,6 +74,10 @@ _WORKER_STATE: dict = {}
 _WORKER_PERSISTENT: dict = {}
 #: Epoch of the payload currently loaded in this worker (-1 = none).
 _WORKER_EPOCH: int = -1
+#: This process's worker-lane id (None on the coordinator / before init).
+_WORKER_LANE: Optional[int] = None
+#: Telemetry queue back to the coordinator (None when telemetry is off).
+_WORKER_TELEMETRY: Optional[Any] = None
 
 
 def _load_payload_ref(ref: Any) -> Any:
@@ -73,12 +87,59 @@ def _load_payload_ref(ref: Any) -> Any:
     return ref
 
 
-def _init_worker(epoch: int, ref: Any) -> None:
-    global _WORKER_PAYLOAD, _WORKER_EPOCH
+def _init_worker(
+    epoch: int, ref: Any, lane_counter: Any = None, telemetry: Any = None
+) -> None:
+    global _WORKER_PAYLOAD, _WORKER_EPOCH, _WORKER_LANE, _WORKER_TELEMETRY
     _WORKER_PAYLOAD = _load_payload_ref(ref)
     _WORKER_EPOCH = epoch
     _WORKER_STATE.clear()
     _WORKER_PERSISTENT.clear()
+    if lane_counter is not None:
+        # first-come lane claim: each pool process takes the next slot
+        # (LANE_BASE + index).  Lanes are identities of *slots*, not
+        # pids — a pool restart re-claims 100..100+jobs-1, so log
+        # prefixes and trace tids stay stable across payload epochs.
+        with lane_counter.get_lock():
+            index = lane_counter.value
+            lane_counter.value = index + 1
+        _WORKER_LANE = LANE_BASE + index
+        set_worker_lane(_WORKER_LANE)
+    _WORKER_TELEMETRY = telemetry
+
+
+def worker_lane() -> Optional[int]:
+    """This worker's lane id (``LANE_BASE + slot``), or None outside one."""
+    return _WORKER_LANE
+
+
+def telemetry_active() -> bool:
+    """True when this worker has a live telemetry queue.
+
+    Lets task functions skip telemetry-only bookkeeping (e.g. cache
+    counter deltas per config) when nobody is listening.
+    """
+    return _WORKER_TELEMETRY is not None
+
+
+def worker_emit(kind: str, **fields: Any) -> None:
+    """Send one telemetry event to the coordinator (no-op when off).
+
+    Events are plain dicts — ``kind`` plus the worker's lane and pid,
+    plus whatever ``fields`` the caller adds (see
+    :mod:`repro.obs.telemetry` for the grammar the fleet view folds).
+    Strictly fire-and-forget: a full or broken queue drops the event
+    rather than perturbing the analysis.
+    """
+    queue = _WORKER_TELEMETRY
+    if queue is None:
+        return
+    event = {"kind": str(kind), "lane": _WORKER_LANE, "pid": os.getpid()}
+    event.update(fields)
+    try:
+        queue.put(event)
+    except (OSError, ValueError):
+        pass
 
 
 def _ensure_epoch(epoch: int, ref: Any) -> None:
@@ -183,9 +244,23 @@ class WorkerPool:
         one per worker.  When shared memory is unavailable the swap
         falls back to restarting the pool processes (correct, but the
         per-worker epoch-scoped state is rebuilt).
+    telemetry:
+        Open a telemetry queue from the workers back to the
+        coordinator: task functions may then call :func:`worker_emit`
+        and the coordinator drains with :meth:`drain_telemetry` (or a
+        live :class:`repro.obs.telemetry.TelemetryDrain` thread while a
+        ``map`` blocks).  Off by default — events cost a queue put per
+        emission.  Lane ids are assigned either way.
     """
 
-    def __init__(self, jobs: int, payload: Any, *, use_shm: bool = True) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        payload: Any,
+        *,
+        use_shm: bool = True,
+        telemetry: bool = False,
+    ) -> None:
         if jobs < 2:
             raise ValueError(f"WorkerPool needs jobs >= 2, got {jobs}")
         self.jobs = jobs
@@ -206,8 +281,22 @@ class WorkerPool:
         self._context = multiprocessing.get_context(
             self.start_method if "fork" in methods else None
         )
+        #: next free worker-lane slot; workers claim LANE_BASE + slot
+        #: in their initializer (reset to 0 on a pool restart so the
+        #: replacement workers re-claim the same lane range)
+        self._lane_counter = self._context.Value("i", 0)
+        self.telemetry_queue = (
+            self._context.SimpleQueue() if telemetry else None
+        )
         self._pool = self._context.Pool(
-            processes=jobs, initializer=_init_worker, initargs=(self._epoch, payload)
+            processes=jobs,
+            initializer=_init_worker,
+            initargs=(
+                self._epoch,
+                payload,
+                self._lane_counter,
+                self.telemetry_queue,
+            ),
         )
 
     def set_payload(self, payload: Any) -> None:
@@ -236,10 +325,17 @@ class WorkerPool:
             # cross-config reuse on such platforms)
             self._pool.terminate()
             self._pool.join()
+            with self._lane_counter.get_lock():
+                self._lane_counter.value = 0
             self._pool = self._context.Pool(
                 processes=self.jobs,
                 initializer=_init_worker,
-                initargs=(self._epoch, payload),
+                initargs=(
+                    self._epoch,
+                    payload,
+                    self._lane_counter,
+                    self.telemetry_queue,
+                ),
             )
         _shm.unlink_spec(old_spec)
 
@@ -271,6 +367,25 @@ class WorkerPool:
             return self._pool.map(_run_task, wrapped, chunksize=1)
         return self._pool.map_async(_run_task, wrapped, chunksize=1).get(timeout)
 
+    def drain_telemetry(self) -> List[dict]:
+        """Collect every telemetry event currently queued (non-blocking).
+
+        Returns ``[]`` when telemetry is off.  Used between map waves —
+        for *live* consumption while a map blocks, hand
+        :attr:`telemetry_queue` to a
+        :class:`repro.obs.telemetry.TelemetryDrain` instead.
+        """
+        queue = self.telemetry_queue
+        if queue is None:
+            return []
+        events: List[dict] = []
+        try:
+            while not queue.empty():
+                events.append(queue.get())
+        except (OSError, EOFError):
+            pass
+        return events
+
     def _unlink_payload(self) -> None:
         _shm.unlink_spec(self._payload_spec)
         self._payload_spec = None
@@ -279,11 +394,13 @@ class WorkerPool:
         self._pool.close()
         self._pool.join()
         self._unlink_payload()
+        self.drain_telemetry()
 
     def terminate(self) -> None:
         self._pool.terminate()
         self._pool.join()
         self._unlink_payload()
+        self.drain_telemetry()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -23,12 +23,19 @@ from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.batch.pool import WorkerPool, chunked, resolve_jobs, worker_payload
+from repro.batch.pool import (
+    WorkerPool,
+    chunked,
+    resolve_jobs,
+    worker_emit,
+    worker_payload,
+)
 from repro.configs.random_topology import random_network
 from repro.errors import AnalysisError, ConfigurationError, UnstableNetworkError
 from repro.netcalc.analyzer import analyze_network_calculus
 from repro.obs.instrument import Instrumentation
 from repro.obs.logging import get_logger, kv
+from repro.obs.telemetry import fleet_drain
 from repro.sim.scenarios import TrafficScenario, simulate
 from repro.trajectory.analyzer import analyze_trajectory
 
@@ -233,7 +240,10 @@ def sweep_one_config(config_seed: int, spec: SweepSpec) -> SweepConfigRecord:
 def _sweep_worker(task: List[int]) -> Tuple[List[SweepConfigRecord], float]:
     spec: SweepSpec = worker_payload()
     start = time.perf_counter()
-    records = [sweep_one_config(seed, spec) for seed in task]
+    records = []
+    for seed in task:
+        records.append(sweep_one_config(seed, spec))
+        worker_emit("config", n=1, seed=seed)
     return records, time.perf_counter() - start
 
 
@@ -263,6 +273,7 @@ def batch_sweep(
     started = time.perf_counter()
     busy_s = 0.0
     start_method = ""
+    fleet_snapshot: Optional[Dict[str, object]] = None
     with obs.tracer.span("batch.sweep", jobs=jobs, configs=len(seeds)):
         if jobs == 1:
             for index, seed in enumerate(seeds):
@@ -276,17 +287,27 @@ def batch_sweep(
                 pool.set_payload(spec)
                 own_pool = _nullcontext(pool)
             else:
-                own_pool = WorkerPool(jobs, spec)
+                own_pool = WorkerPool(
+                    jobs, spec, telemetry=progress is not None
+                )
             with own_pool as live_pool:
                 start_method = live_pool.start_method
-                done = 0
-                for records, busy in live_pool.map(_sweep_worker, tasks):
-                    report.records.extend(records)
-                    # repro-lint: allow[REPRO102] wall-time bookkeeping, not an analysis value
-                    busy_s += busy
-                    done += len(records)
-                    if obs.progress:
-                        obs.progress.update("batch.sweep", done, len(seeds))
+                fleet, drain = fleet_drain(live_pool, progress, len(seeds))
+                try:
+                    done = 0
+                    for records, busy in live_pool.map(_sweep_worker, tasks):
+                        report.records.extend(records)
+                        # repro-lint: allow[REPRO102] wall-time bookkeeping, not an analysis value
+                        busy_s += busy
+                        done += len(records)
+                        if obs.progress and fleet is None:
+                            obs.progress.update("batch.sweep", done, len(seeds))
+                finally:
+                    if drain is not None:
+                        drain.stop()
+                    if fleet is not None:
+                        fleet.close()
+                        fleet_snapshot = fleet.snapshot()
         if obs.progress:
             obs.progress.update("batch.sweep", len(seeds), len(seeds))
     report.wall_s = time.perf_counter() - started
@@ -306,6 +327,9 @@ def batch_sweep(
             "batch.sweep.start_method_fork", int(start_method == "fork")
         )
         report.stats = obs.export()
+    if fleet_snapshot is not None:
+        report.stats = dict(report.stats or {})
+        report.stats["fleet"] = fleet_snapshot
     _LOG.info(
         "batch sweep done %s",
         kv(

@@ -120,6 +120,7 @@ from repro.obs import configure as configure_logging
 from repro.obs import (
     build_manifest,
     network_identity,
+    work_summary,
     write_manifest,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -157,7 +158,15 @@ OBS_FLAG_DESTS = (
     "progress",
     "profile",
     "trace",
+    "history_dir",
 )
+
+#: argparse dests that describe *how* a run executed (worker count,
+#: cache placement, kernel choice) rather than *what* it analyzed.
+#: They land in the run-history record's volatile ``execution``
+#: section, never its deterministic ``options`` core — the core must be
+#: byte-stable across ``--jobs`` and cache states.
+_EXECUTION_ARGS = frozenset(("jobs", "cache_dir", "no_shm", "trajectory_kernel"))
 
 
 def _obs_parent() -> argparse.ArgumentParser:
@@ -208,6 +217,14 @@ def _obs_parent() -> argparse.ArgumentParser:
         help="write recorded phase spans as Chrome-trace JSON "
         "(chrome://tracing / Perfetto); an existing trace file is "
         "merged, so warm/cold runs land in one timeline",
+    )
+    group.add_argument(
+        "--history-dir",
+        default=None,
+        metavar="DIR",
+        help="append a run record (config + bounds digests, work "
+        "counters, wall time, git rev) to the persistent run history "
+        "in DIR (or set AFDX_HISTORY_DIR); query it with 'afdx obs'",
     )
     return obs
 
@@ -534,6 +551,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the CFG110 per-port utilization info entries",
     )
 
+    obs_cmd = sub.add_parser(
+        "obs", parents=[obs],
+        help="query the persistent run history "
+        "(--history-dir / AFDX_HISTORY_DIR)",
+    )
+    obs_cmd.add_argument(
+        "action", choices=["list", "show", "diff", "drift"],
+        help="list recent runs; show full records; diff two runs' "
+        "bounds digests and work counters; drift-scan for bounds "
+        "changes at fixed config digests across git revs",
+    )
+    obs_cmd.add_argument(
+        "run_ids", nargs="*", metavar="RUN_ID",
+        help="run ids (unique prefixes accepted): show takes one or "
+        "more, diff exactly two",
+    )
+    obs_cmd.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="newest N records for list (default 20, 0 = all)",
+    )
+    obs_cmd.add_argument(
+        "--command", default=None, metavar="CMD", dest="filter_command",
+        help="only consider records of this subcommand",
+    )
+    obs_cmd.add_argument(
+        "--config-digest", default=None, metavar="HEX",
+        help="only consider records whose configuration digest starts "
+        "with HEX",
+    )
+    obs_cmd.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    obs_cmd.add_argument(
+        "--strict", action="store_true",
+        help="drift: also exit 1 on more-work counter trends "
+        "(advisory by default)",
+    )
+
     return parser
 
 
@@ -553,13 +609,26 @@ class _RunContext:
     """
 
     def __init__(self, args: argparse.Namespace) -> None:
+        from repro.obs.history import resolve_history_dir
+
         self.metrics_path: Optional[str] = getattr(args, "metrics_json", None)
         self.prom_path: Optional[str] = getattr(args, "metrics_prom", None)
         self.trace_path: Optional[str] = getattr(args, "trace", None)
+        #: run-history target (flag > AFDX_HISTORY_DIR > off); queries
+        #: (``afdx obs``) read it but never record themselves
+        self.history_dir = resolve_history_dir(
+            getattr(args, "history_dir", None)
+        )
+        self.record_history = (
+            self.history_dir is not None and args.command != "obs"
+        )
+        # a recorded run needs the same stats the manifest needs (work
+        # counters, config identity), so recording implies collection
         self.collect = (
             self.metrics_path is not None
             or self.prom_path is not None
             or self.trace_path is not None
+            or self.record_history
         )
         self.metrics = MetricsRegistry(enabled=self.collect)
         self.progress = (
@@ -568,6 +637,9 @@ class _RunContext:
         self.config: Optional[Dict[str, object]] = None
         self.analyzers: Dict[str, Dict[str, object]] = {}
         self.bounds: Optional[Dict[str, object]] = None
+        self.config_digest: Optional[str] = None
+        self.bounds_digest: Optional[str] = None
+        self.fleet: Optional[Dict[str, object]] = None
 
     def set_config(self, network, source: Optional[str] = None) -> None:
         """Record the configuration identity for the manifest."""
@@ -576,6 +648,27 @@ class _RunContext:
         self.config = network_identity(network)
         if source is not None:
             self.config["source"] = str(source)
+        if self.record_history:
+            from repro.incremental.fingerprint import network_fingerprint
+
+            self.config_digest = network_fingerprint(network)
+
+    def record_bounds(self, nc_result, trajectory_result) -> None:
+        """Capture the lossless per-path bounds digest for the history.
+
+        Best-effort: a result shape without the ``paths`` maps simply
+        leaves the record digest-less (it still carries work counters).
+        """
+        if not self.record_history:
+            return
+        from repro.obs.history import analysis_bounds_digest
+
+        try:
+            self.bounds_digest = analysis_bounds_digest(
+                nc_result, trajectory_result
+            )
+        except (AttributeError, KeyError, TypeError):
+            self.bounds_digest = None
 
 
 #: argparse attributes that are not analyzer/command options.
@@ -589,6 +682,29 @@ def _manifest_options(args: argparse.Namespace) -> Dict[str, object]:
         key: value
         for key, value in sorted(vars(args).items())
         if key not in _NON_OPTION_ARGS
+    }
+
+
+def _history_options(args: argparse.Namespace) -> Dict[str, object]:
+    """Manifest options minus execution shape.
+
+    The run-history record splits a deterministic core from a volatile
+    shell; ``jobs``/``cache_dir``/``no_shm``/``trajectory_kernel`` only
+    change *how* bounds are computed, never their bytes, so they live
+    in the record's ``execution`` section instead of here.
+    """
+    return {
+        key: value
+        for key, value in _manifest_options(args).items()
+        if key not in _EXECUTION_ARGS
+    }
+
+
+def _history_execution(args: argparse.Namespace) -> Dict[str, object]:
+    return {
+        key: vars(args)[key]
+        for key in sorted(_EXECUTION_ARGS)
+        if key in vars(args)
     }
 
 
@@ -644,6 +760,7 @@ def _cmd_analyze(args: argparse.Namespace, ctx: _RunContext) -> int:
         else None
     )
     trajectory = batch.trajectory(smax_seed=seed)
+    ctx.record_bounds(nc, trajectory)
     result = analyze_network(network, nc_result=nc, trajectory_result=trajectory)
     result.stats = summarize(result.paths.values())
     if ctx.collect:
@@ -702,6 +819,7 @@ def _cmd_profile(args: argparse.Namespace, ctx: _RunContext) -> int:
         else None
     )
     trajectory = batch.trajectory(smax_seed=seed)
+    ctx.record_bounds(nc, trajectory)
     ctx.analyzers = {"network_calculus": nc.stats, "trajectory": trajectory.stats}
     if ctx.collect:
         result = analyze_network(
@@ -769,6 +887,7 @@ def _cmd_simulate(args: argparse.Namespace, ctx: _RunContext) -> int:
     trajectory = analyze_trajectory(
         network, serialization="safe", collect_stats=ctx.collect, progress=ctx.progress
     )
+    ctx.record_bounds(nc, trajectory)
     if ctx.collect:
         ctx.analyzers = {"network_calculus": nc.stats, "trajectory": trajectory.stats}
     scenario = TrafficScenario(
@@ -823,12 +942,23 @@ def _cmd_batch_sweep(args: argparse.Namespace, ctx: _RunContext) -> int:
         cache_dir=args.cache_dir,
         preflight=args.preflight,
     )
+    if ctx.record_history:
+        # the sweep's identity is its seeded spec; cache_dir is
+        # execution shape (bit-identical results either way) and must
+        # not split drift groups
+        import dataclasses
+        import hashlib
+
+        identity = dataclasses.replace(spec, cache_dir=None)
+        ctx.config_digest = hashlib.sha256(repr(identity).encode()).hexdigest()
     report = batch_sweep(
         spec, jobs=args.jobs, collect_stats=ctx.collect, progress=ctx.progress
     )
     print(report.render())
     if ctx.collect and report.stats is not None:
         ctx.analyzers = {"batch_sweep": report.stats}
+    if isinstance(report.stats, dict):
+        ctx.fleet = report.stats.get("fleet")
     return EXIT_FAILURE if report.violations else EXIT_OK
 
 
@@ -845,6 +975,16 @@ def _cmd_whatif(args: argparse.Namespace, ctx: _RunContext) -> int:
     if args.preflight:
         _run_preflight(network, args.config, ctx)
     edits = load_edit_script(args.edits)
+    if ctx.config_digest is not None:
+        # a whatif run's identity is (base config, edit script): fold
+        # the edit bytes into the digest so two whatifs with different
+        # edits never land in the same drift group
+        import hashlib
+        from pathlib import Path as _Path
+
+        digest = hashlib.sha256(ctx.config_digest.encode())
+        digest.update(_Path(args.edits).read_bytes())
+        ctx.config_digest = digest.hexdigest()
     engine = DeltaAnalyzer(
         network,
         cache_dir=args.cache_dir,
@@ -856,6 +996,7 @@ def _cmd_whatif(args: argparse.Namespace, ctx: _RunContext) -> int:
     )
     engine.analyze_base()
     delta = engine.apply(edits)
+    ctx.record_bounds(delta.netcalc, delta.trajectory)
     stats = delta.stats
     print(
         f"whatif: {len(edits)} edit(s), "
@@ -907,6 +1048,7 @@ def _cmd_explain(args: argparse.Namespace, ctx: _RunContext) -> int:
         progress=ctx.progress,
         trajectory_kernel=args.trajectory_kernel,
     )
+    ctx.record_bounds(explanation.netcalc, explanation.trajectory)
     text = render_explanation(
         explanation,
         fmt=args.format,
@@ -1021,6 +1163,119 @@ def _cmd_report(args: argparse.Namespace, ctx: _RunContext) -> int:
     return EXIT_OK
 
 
+def _resolve_run(history, run_id: str):
+    """One history record by (prefix of) run id, or an error message."""
+    try:
+        record = history.get(run_id)
+    except ValueError as exc:
+        return None, str(exc)
+    if record is None:
+        return None, f"no run {run_id!r} in history"
+    return record, None
+
+
+def _cmd_obs(args: argparse.Namespace, ctx: _RunContext) -> int:
+    """``afdx obs``: query the persistent run history."""
+    from repro.obs.history import (
+        RunHistory,
+        diff_runs,
+        drift_report,
+        render_drift_report,
+        render_run,
+        render_run_diff,
+        render_run_line,
+    )
+
+    if ctx.history_dir is None:
+        print(
+            "afdx: error: no run history directory "
+            "(pass --history-dir DIR or set AFDX_HISTORY_DIR)",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG_ERROR
+    history = RunHistory(ctx.history_dir)
+    records = history.records()
+    if args.filter_command:
+        records = [
+            r for r in records if r.get("command") == args.filter_command
+        ]
+    if args.config_digest:
+        records = [
+            r
+            for r in records
+            if str(r.get("config_digest", "")).startswith(args.config_digest)
+        ]
+
+    if args.action == "list":
+        shown = records[-args.limit :] if args.limit > 0 else records
+        if args.format == "json":
+            print(json.dumps(shown, indent=2, sort_keys=True))
+        else:
+            for record in shown:
+                print(render_run_line(record))
+            print(
+                f"{len(shown)} of {len(records)} record(s) "
+                f"in {ctx.history_dir}"
+            )
+        return EXIT_OK
+
+    if args.action == "show":
+        if not args.run_ids:
+            print(
+                "afdx: error: obs show needs at least one RUN_ID",
+                file=sys.stderr,
+            )
+            return EXIT_CONFIG_ERROR
+        resolved = []
+        for run_id in args.run_ids:
+            record, problem = _resolve_run(history, run_id)
+            if problem is not None:
+                print(f"afdx: error: {problem}", file=sys.stderr)
+                return EXIT_FAILURE
+            resolved.append(record)
+        if args.format == "json":
+            payload = resolved[0] if len(resolved) == 1 else resolved
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for record in resolved:
+                print(render_run(record))
+        return EXIT_OK
+
+    if args.action == "diff":
+        if len(args.run_ids) != 2:
+            print(
+                "afdx: error: obs diff needs exactly two RUN_IDs",
+                file=sys.stderr,
+            )
+            return EXIT_CONFIG_ERROR
+        pair = []
+        for run_id in args.run_ids:
+            record, problem = _resolve_run(history, run_id)
+            if problem is not None:
+                print(f"afdx: error: {problem}", file=sys.stderr)
+                return EXIT_FAILURE
+            pair.append(record)
+        diff = diff_runs(pair[0], pair[1])
+        if args.format == "json":
+            print(json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_run_diff(diff))
+        return EXIT_OK
+
+    # drift: the soundness tripwire — bounds digests at a fixed config
+    # digest must be identical across git revs, jobs and cache states
+    report = drift_report(records)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_drift_report(report))
+    if report["drifts"]:
+        return EXIT_FAILURE
+    if args.strict and report["more_work"]:
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "profile": _cmd_profile,
@@ -1033,6 +1288,7 @@ _COMMANDS = {
     "whatif": _cmd_whatif,
     "explain": _cmd_explain,
     "lint": _cmd_lint,
+    "obs": _cmd_obs,
 }
 
 
@@ -1173,6 +1429,47 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"afdx: error: cannot write trace: {exc}", file=sys.stderr)
             return code if code != EXIT_OK else EXIT_FAILURE
         print(f"(trace written to {ctx.trace_path})", file=sys.stderr)
+    if ctx.record_history:
+        from repro.obs.history import (
+            RunHistory,
+            build_run_record,
+            cache_summary,
+            git_revision,
+        )
+
+        timers = ctx.metrics.to_dict().get("timers", {})
+        total = timers.get("cli.total", {})
+        execution = _history_execution(args)
+        if ctx.fleet is not None:
+            execution["fleet"] = ctx.fleet
+        record = build_run_record(
+            command=args.command,
+            status=status,
+            config=ctx.config,
+            config_digest=ctx.config_digest,
+            bounds_digest=ctx.bounds_digest,
+            work=work_summary(ctx.analyzers),
+            cache=cache_summary(ctx.analyzers),
+            execution=execution,
+            options=_history_options(args),
+            wall_ms=float(total.get("total_ms", 0.0)),
+            error=error,
+            git_rev=git_revision(),
+        )
+        try:
+            history = RunHistory(ctx.history_dir)
+            history.append(record)
+        except (OSError, ValueError) as exc:
+            print(
+                f"afdx: error: cannot record run history: {exc}",
+                file=sys.stderr,
+            )
+            return code if code != EXIT_OK else EXIT_FAILURE
+        print(
+            f"(run {record['run_id']} recorded in history at "
+            f"{ctx.history_dir})",
+            file=sys.stderr,
+        )
     return code
 
 

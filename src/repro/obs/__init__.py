@@ -21,7 +21,12 @@ simulator.  Everything is opt-in and zero-overhead when disabled:
   :class:`~repro.obs.costmodel.CostLedger` attached to ``.stats``);
 * :mod:`repro.obs.tracefile` — Chrome-trace / Perfetto export of
   recorded spans (the CLI's ``--trace``);
-* :mod:`repro.obs.hotspots` — the ``afdx profile`` hot-spot reports.
+* :mod:`repro.obs.hotspots` — the ``afdx profile`` hot-spot reports;
+* :mod:`repro.obs.history` — the persistent append-only run-history
+  store (``--history-dir`` / ``AFDX_HISTORY_DIR``) and the
+  ``afdx obs`` diff/drift queries over it;
+* :mod:`repro.obs.telemetry` — live fleet telemetry: worker heartbeat
+  events folded into the upgraded ``--progress`` view.
 """
 
 from repro.obs.costmodel import (
@@ -39,8 +44,27 @@ from repro.obs.hotspots import (
     build_profile_report,
     render_profile_report,
 )
+from repro.obs.history import (
+    HISTORY_SCHEMA_VERSION,
+    RunHistory,
+    analysis_bounds_digest,
+    build_run_record,
+    cache_summary,
+    deterministic_view,
+    diff_runs,
+    drift_report,
+    git_revision,
+    resolve_history_dir,
+    validate_run_record,
+)
 from repro.obs.instrument import OFF, Instrumentation
-from repro.obs.logging import configure, get_logger
+from repro.obs.logging import (
+    configure,
+    get_logger,
+    lane_prefix,
+    set_worker_lane,
+    worker_lane,
+)
 from repro.obs.manifest import (
     MANIFEST_VERSION,
     build_manifest,
@@ -50,10 +74,12 @@ from repro.obs.manifest import (
 )
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, TimerStats
 from repro.obs.prometheus import (
+    pool_samples,
     registry_samples,
     render_prometheus,
     write_prometheus,
 )
+from repro.obs.telemetry import FleetView, TelemetryDrain, fleet_drain
 from repro.obs.trace import NULL_TRACER, ProgressHook, Span, Tracer
 from repro.obs.tracefile import (
     build_chrome_trace,
@@ -101,4 +127,22 @@ __all__ = [
     "registry_samples",
     "render_prometheus",
     "write_prometheus",
+    "pool_samples",
+    "HISTORY_SCHEMA_VERSION",
+    "RunHistory",
+    "analysis_bounds_digest",
+    "build_run_record",
+    "cache_summary",
+    "deterministic_view",
+    "diff_runs",
+    "drift_report",
+    "git_revision",
+    "resolve_history_dir",
+    "validate_run_record",
+    "lane_prefix",
+    "set_worker_lane",
+    "worker_lane",
+    "FleetView",
+    "TelemetryDrain",
+    "fleet_drain",
 ]

@@ -21,7 +21,15 @@ import logging
 import sys
 from typing import IO, Optional, Union
 
-__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure", "kv"]
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "get_logger",
+    "configure",
+    "kv",
+    "lane_prefix",
+    "set_worker_lane",
+    "worker_lane",
+]
 
 ROOT_LOGGER_NAME = "repro"
 
@@ -75,6 +83,61 @@ def configure(
     # analysis logs are diagnostics, not application events
     root.propagate = False
     return root
+
+
+#: Worker lane id of *this process* (None on the coordinator).  Set by
+#: the pool initializer; matches the synthetic Chrome-trace worker tids
+#: (``repro.obs.tracefile``, base 100), so a ``[w101]`` stderr line and
+#: the tid-101 trace lane are the same worker.
+_WORKER_LANE: Optional[int] = None
+
+#: The record factory active before the first lane install, so a lane
+#: reset (or re-install) never stacks wrappers.
+_BASE_RECORD_FACTORY = None
+
+
+def lane_prefix(lane: int) -> str:
+    """The stable textual form of a worker-lane id: ``[w<lane>]``."""
+    return f"[w{int(lane)}]"
+
+
+def worker_lane() -> Optional[int]:
+    """This process's worker-lane id (None on the coordinator)."""
+    return _WORKER_LANE
+
+
+def set_worker_lane(lane: Optional[int]) -> None:
+    """Tag every ``repro.*`` log record of this process with a lane id.
+
+    Called by the worker-pool initializer in each pool process: from
+    then on every record logged under the ``repro`` hierarchy carries a
+    ``[w<lane>]`` message prefix, so interleaved stderr from ``--jobs
+    N`` runs is attributable to a worker — and joinable with the
+    Chrome-trace worker lanes, which use the same numbering.  Installed
+    via :func:`logging.setLogRecordFactory` (record creation), so it
+    works whether the worker inherited a configured handler (fork) or
+    merely propagates records (spawn).  ``None`` uninstalls.
+    """
+    global _WORKER_LANE, _BASE_RECORD_FACTORY
+    _WORKER_LANE = lane
+    if _BASE_RECORD_FACTORY is None:
+        _BASE_RECORD_FACTORY = logging.getLogRecordFactory()
+    base = _BASE_RECORD_FACTORY
+    if lane is None:
+        logging.setLogRecordFactory(base)
+        return
+    prefix = lane_prefix(lane)
+
+    def factory(*args, **kwargs):
+        record = base(*args, **kwargs)
+        in_hierarchy = record.name == ROOT_LOGGER_NAME or record.name.startswith(
+            ROOT_LOGGER_NAME + "."
+        )
+        if in_hierarchy and isinstance(record.msg, str):
+            record.msg = f"{prefix} {record.msg}"
+        return record
+
+    logging.setLogRecordFactory(factory)
 
 
 def kv(**fields: object) -> str:

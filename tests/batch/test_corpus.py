@@ -77,3 +77,33 @@ class TestCorpusStats:
         assert report.stats["counters"]["batch.corpus.configs"] == SPEC.configs
         assert report.stats["gauges"]["batch.corpus.jobs"] == 1
         assert report.paths_bound == sum(r.n_paths for r in report.records)
+
+
+class TestFleetTelemetry:
+    def test_progress_run_attaches_fleet_snapshot_with_cache_rates(
+        self, tmp_path
+    ):
+        from repro.obs.trace import ProgressHook
+
+        progress = ProgressHook(lambda phase, done, total: None)
+        baseline = analyze_corpus(SPEC, jobs=1)
+        report = analyze_corpus(
+            SPEC, jobs=2, progress=progress, cache_dir=str(tmp_path)
+        )
+        assert report.digest == baseline.digest  # telemetry never perturbs
+        fleet = report.stats["fleet"]
+        assert fleet["configs_done"] == SPEC.configs
+        assert fleet["configs_total"] == SPEC.configs
+        assert sum(fleet["lanes"].values()) == SPEC.configs
+        assert all(int(lane) >= 100 for lane in fleet["lanes"])
+        # a cold cache dir still produces lookups: misses count too
+        assert fleet["cache_hits"] + fleet["cache_misses"] > 0
+
+    def test_borrowed_pool_without_telemetry_stays_silent(self, tmp_path):
+        from repro.obs.trace import ProgressHook
+
+        progress = ProgressHook(lambda phase, done, total: None)
+        with WorkerPool(2, None) as pool:
+            report = analyze_corpus(SPEC, jobs=2, pool=pool, progress=progress)
+        # the owner opened no telemetry queue -> no fleet view, no stats
+        assert report.stats is None or "fleet" not in report.stats

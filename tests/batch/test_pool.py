@@ -77,3 +77,59 @@ class TestWorkerPool:
         with pytest.raises(type(_ERRORS[kind]), match=str(_ERRORS[kind])):
             with WorkerPool(2, payload=None) as pool:
                 pool.map(_raise_payload_error, [kind])
+
+
+def _lane(_x):
+    from repro.batch.pool import worker_lane
+
+    return worker_lane()
+
+
+def _emit_and_report(x):
+    from repro.batch.pool import telemetry_active, worker_emit, worker_lane
+
+    worker_emit("config", n=1, index=x)
+    return (worker_lane(), telemetry_active())
+
+
+class TestWorkerLanes:
+    def test_lanes_cover_the_slot_range(self):
+        from repro.batch.pool import LANE_BASE
+
+        with WorkerPool(2, payload=None) as pool:
+            lanes = set(pool.map(_lane, list(range(16))))
+        assert lanes <= {LANE_BASE, LANE_BASE + 1}
+        assert lanes  # at least one worker answered
+
+    def test_lanes_stable_across_payload_epochs(self):
+        from repro.batch.pool import LANE_BASE
+
+        with WorkerPool(2, payload="a") as pool:
+            before = set(pool.map(_lane, list(range(16))))
+            pool.set_payload("b")
+            after = set(pool.map(_lane, list(range(16))))
+        assert before <= {LANE_BASE, LANE_BASE + 1}
+        assert after <= {LANE_BASE, LANE_BASE + 1}
+
+
+class TestTelemetry:
+    def test_off_by_default(self):
+        with WorkerPool(2, payload=None) as pool:
+            assert pool.telemetry_queue is None
+            results = pool.map(_emit_and_report, [0, 1, 2])
+            assert pool.drain_telemetry() == []
+        assert all(active is False for _lane_id, active in results)
+
+    def test_events_carry_lane_and_fields(self):
+        from repro.batch.pool import LANE_BASE
+
+        with WorkerPool(2, payload=None, telemetry=True) as pool:
+            results = pool.map(_emit_and_report, [0, 1, 2, 3])
+            events = pool.drain_telemetry()
+        assert all(active is True for _lane_id, active in results)
+        assert len(events) == 4
+        assert sorted(e["index"] for e in events) == [0, 1, 2, 3]
+        for event in events:
+            assert event["kind"] == "config"
+            assert event["lane"] in (LANE_BASE, LANE_BASE + 1)
+            assert event["n"] == 1

@@ -72,3 +72,22 @@ class TestSweepAtScale:
         assert len(report.records) == 50
         assert report.n_errors == 0
         assert report.violations == []
+
+
+class TestFleetTelemetry:
+    def test_progress_run_attaches_a_fleet_snapshot(self):
+        from repro.obs.trace import ProgressHook
+
+        progress = ProgressHook(lambda phase, done, total: None)
+        report = batch_sweep(FAST, jobs=2, progress=progress)
+        fleet = report.stats["fleet"]
+        assert fleet["configs_total"] == 4
+        assert fleet["configs_done"] == 4
+        assert fleet["events"] >= 4  # one config event per seed
+        assert all(int(lane) >= 100 for lane in fleet["lanes"])
+        assert sum(fleet["lanes"].values()) == 4
+        assert report.violations == []
+
+    def test_no_progress_means_no_fleet_section(self):
+        report = batch_sweep(FAST, jobs=2, collect_stats=True)
+        assert "fleet" not in report.stats

@@ -1,16 +1,25 @@
-"""Logger hierarchy and the configure() helper."""
+"""Logger hierarchy, the configure() helper, and worker-lane prefixes."""
 
 import io
 import logging
 
 import pytest
 
-from repro.obs.logging import ROOT_LOGGER_NAME, configure, get_logger, kv
+from repro.obs.logging import (
+    ROOT_LOGGER_NAME,
+    configure,
+    get_logger,
+    kv,
+    lane_prefix,
+    set_worker_lane,
+    worker_lane,
+)
 
 
 @pytest.fixture(autouse=True)
 def _reset_repro_logger():
     yield
+    set_worker_lane(None)
     root = logging.getLogger(ROOT_LOGGER_NAME)
     root.handlers.clear()
     root.setLevel(logging.NOTSET)
@@ -61,3 +70,49 @@ def test_level_filtering():
 def test_kv_formatting():
     assert kv(a=1, b=2.34567, c="plain") == "a=1 b=2.346 c=plain"
     assert kv(msg="two words") == "msg='two words'"
+
+
+class TestWorkerLanePrefix:
+    def test_prefix_format_matches_trace_lanes(self):
+        """``[w<lane>]`` with lanes numbered like the Chrome-trace tids."""
+        from repro.batch.pool import LANE_BASE
+        from repro.obs.tracefile import _WORKER_TID_BASE
+
+        assert LANE_BASE == _WORKER_TID_BASE
+        assert lane_prefix(LANE_BASE + 2) == "[w102]"
+
+    def test_repro_records_get_the_prefix(self):
+        stream = io.StringIO()
+        configure("INFO", stream=stream)
+        set_worker_lane(101)
+        assert worker_lane() == 101
+        get_logger("batch").info("chunk done %s", kv(n=4))
+        assert "[w101] chunk done n=4" in stream.getvalue()
+
+    def test_foreign_records_stay_untouched(self):
+        set_worker_lane(101)
+        record = logging.getLogRecordFactory()(
+            "other.lib", logging.INFO, __file__, 1, "hello", (), None
+        )
+        assert record.msg == "hello"
+
+    def test_none_uninstalls(self):
+        stream = io.StringIO()
+        configure("INFO", stream=stream)
+        set_worker_lane(101)
+        set_worker_lane(None)
+        assert worker_lane() is None
+        get_logger("batch").info("plain")
+        text = stream.getvalue()
+        assert "plain" in text
+        assert "[w101]" not in text
+
+    def test_reinstall_replaces_instead_of_stacking(self):
+        stream = io.StringIO()
+        configure("INFO", stream=stream)
+        set_worker_lane(100)
+        set_worker_lane(103)
+        get_logger("batch").info("swapped")
+        text = stream.getvalue()
+        assert "[w103] swapped" in text
+        assert "[w100]" not in text
