@@ -5,9 +5,9 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: check test lint bench bench-batch bench-scaling bench-incremental \
-	bench-explain bench-throughput bench-gate bench-baselines \
-	profile-smoke obs-smoke kernel-gate
+.PHONY: check test lint lint-dataflow lint-baseline bench bench-batch \
+	bench-scaling bench-incremental bench-explain bench-throughput \
+	bench-gate bench-baselines profile-smoke obs-smoke kernel-gate
 
 check:
 	sh scripts/check.sh
@@ -20,6 +20,18 @@ test:
 lint:
 	python -m repro.lint src/repro
 	python -m repro.cli lint examples/configs/*.json --no-utilization-table
+
+# Interprocedural dataflow lint (taint + ownership + fork-safety) over
+# everything we ship, gated on the committed baseline: pre-existing
+# benchmark/script findings are tolerated, new findings fail.
+lint-dataflow:
+	python -m repro.lint --engine dataflow --baseline lint_baseline.json \
+		src/repro benchmarks scripts
+
+# Re-record the baseline after deliberately accepting new findings.
+lint-baseline:
+	python -m repro.lint --engine dataflow --baseline lint_baseline.json \
+		--write-baseline src/repro benchmarks scripts
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only

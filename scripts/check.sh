@@ -15,8 +15,12 @@ export PYTHONPATH
 echo "== compileall src =="
 python -m compileall -q src
 
-echo "== repro.lint (determinism/soundness linter, zero unwaived findings) =="
-python -m repro.lint src/repro
+echo "== repro.lint (dataflow engine, zero unwaived findings in src/repro) =="
+python -m repro.lint --engine dataflow src/repro
+
+echo "== repro.lint dataflow baseline (src + benchmarks + scripts; new findings fail) =="
+python -m repro.lint --engine dataflow --baseline lint_baseline.json \
+    src/repro benchmarks scripts
 
 echo "== afdx lint (config verifier over shipped examples) =="
 python -m repro.cli lint examples/configs/*.json --no-utilization-table

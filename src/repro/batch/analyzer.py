@@ -506,24 +506,26 @@ class BatchAnalyzer:
                 _LOG.info("fast-table arena unavailable, fork-copying: %s", exc)
             else:
                 fast_tables = (arena.spec, table_index)
-        payload = _Payload(
-            network=network,
-            serialization=self.serialization,
-            smax_seed=coordinator.smax_snapshot(),
-            incremental=self.incremental,
-            cache_dir=self.cache_dir,
-            trajectory_kernel=self.trajectory_kernel,
-            fast_tables=fast_tables,
-        )
         cumulative: Dict[FlowPortKey, float] = {}
         bounds: Dict[FlowPortKey, TrajectoryPathBound] = {}
         sweeps = 0
-        stats = _PoolStats(jobs=self.jobs)
-        progress = obs.progress
-        started = time.perf_counter()
-        ledger = CostLedger("trajectory") if self.collect_stats else None
-        stats.shm_tables = int(fast_tables is not None)
+        # from here until the matching finally the arena is live: any
+        # failure (payload construction included) must still retire it
         try:
+            stats = _PoolStats(jobs=self.jobs)
+            progress = obs.progress
+            started = time.perf_counter()
+            payload = _Payload(
+                network=network,
+                serialization=self.serialization,
+                smax_seed=coordinator.smax_snapshot(),
+                incremental=self.incremental,
+                cache_dir=self.cache_dir,
+                trajectory_kernel=self.trajectory_kernel,
+                fast_tables=fast_tables,
+            )
+            ledger = CostLedger("trajectory") if self.collect_stats else None
+            stats.shm_tables = int(fast_tables is not None)
             with obs.tracer.span(
                 "batch.trajectory",
                 jobs=self.jobs,

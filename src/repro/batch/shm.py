@@ -173,11 +173,19 @@ def attach(spec: ShmSpec) -> Tuple[Dict[str, "np.ndarray"], shared_memory.Shared
     parks both in its epoch state.
     """
     segment = _attach_untracked(spec.name)
-    arrays: Dict[str, "np.ndarray"] = {}
-    for key, dtype, shape, offset in spec.entries:
-        view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=offset)
-        view.flags.writeable = False
-        arrays[key] = view
+    try:
+        arrays: Dict[str, "np.ndarray"] = {}
+        for key, dtype, shape, offset in spec.entries:
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=segment.buf, offset=offset
+            )
+            view.flags.writeable = False
+            arrays[key] = view
+    except Exception:
+        # a malformed spec (stale entry table, truncated segment) must
+        # not strand the mapping: detach before propagating
+        segment.close()
+        raise
     return arrays, segment
 
 

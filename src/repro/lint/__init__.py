@@ -20,6 +20,18 @@ rules over the source tree itself:
 * mutable default arguments (REPRO201) and bare ``except:`` (REPRO202);
 * malformed or unused inline waivers (REPRO301 / REPRO302).
 
+On top of the syntactic rules sits the whole-program dataflow engine
+(:mod:`repro.lint.dataflow`, the CLI default via ``--engine
+dataflow``): an interprocedural taint analysis that reports unordered
+iteration, wall-clock, RNG and environment reads only when they
+*reach* a float fold, digest, artefact emission or ``CostLedger``
+counter (REPRO501–REPRO504, with the full ``source → through f() →
+sink`` chain in the diagnostic), and a path-sensitive ownership
+analysis for SharedMemory/pool lifetimes and fork safety
+(REPRO601/REPRO602, superseding the syntactic REPRO401).  Committed
+baselines (:mod:`repro.lint.baseline`) ratchet new findings without
+blocking on historical ones.
+
 Run it as ``python -m repro.lint src/`` (text or ``--format json``).
 A finding is silenced only by an inline waiver **with a reason**::
 
@@ -31,7 +43,14 @@ to the determinism contract it protects live in ``docs/LINT.md``.
 
 from __future__ import annotations
 
-from repro.lint.engine import LintResult, lint_paths, lint_source, lint_sources
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.engine import (
+    ENGINES,
+    LintResult,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 from repro.lint.findings import Finding, Severity
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import RULES, Rule
@@ -40,6 +59,7 @@ __all__ = [
     "Finding",
     "Severity",
     "LintResult",
+    "ENGINES",
     "lint_paths",
     "lint_source",
     "lint_sources",
@@ -47,4 +67,7 @@ __all__ = [
     "render_json",
     "RULES",
     "Rule",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
 ]

@@ -1,0 +1,113 @@
+"""Committed finding baselines: fail on *new* findings only.
+
+Turning a whole-program analysis on over a living tree needs a
+ratchet: pre-existing findings that are understood-but-not-yet-fixed
+are recorded in a committed JSON baseline, and the CLI then fails only
+when a finding **not** in the baseline appears.  The schema is
+deliberately small::
+
+    {
+      "schema": 1,
+      "findings": {
+        "REPRO501|scripts/foo.py|<message>": 1,
+        ...
+      }
+    }
+
+Keys are ``rule|path|message`` (no line number — the message already
+anchors the site, and pure-whitespace shifts should not invalidate the
+baseline); values count occurrences so a file with two identical
+findings is distinguishable from one.  Keys are sorted on write, so
+regenerating the baseline over an unchanged tree is byte-identical.
+
+The baseline never *hides* anything: baselined findings are still
+reported (marked like waived ones, with the baseline path as the
+reason) and ``--strict`` refuses the ratchet entirely — that is the
+advisory mirror of ``bench_gate.py``'s strict mode.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BaselineError",
+    "finding_key",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not usable."""
+
+
+def finding_key(finding: Finding) -> str:
+    return f"{finding.rule_id}|{finding.path}|{finding.message}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Parse a baseline file into ``{key: count}``."""
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("schema") != _SCHEMA:
+        raise BaselineError(
+            f"baseline {path} has unsupported schema "
+            f"{document.get('schema') if isinstance(document, dict) else '?'!r}"
+            f" (expected {_SCHEMA})"
+        )
+    findings = document.get("findings")
+    if not isinstance(findings, dict):
+        raise BaselineError(f"baseline {path} has no 'findings' mapping")
+    out: Dict[str, int] = {}
+    for key, count in findings.items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise BaselineError(f"baseline {path}: bad entry {key!r}: {count!r}")
+        out[key] = count
+    return out
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write the baseline for the given (active, unwaived) findings."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = finding_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    document = {
+        "schema": _SCHEMA,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into ``(new, baselined)``.
+
+    Consumes baseline counts in finding-sort order, so when a file has
+    three identical findings against a baselined count of two, exactly
+    one (the last) is new — deterministically.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

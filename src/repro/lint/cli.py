@@ -9,15 +9,31 @@ Exit codes
 ``--format json`` emits the stable machine form consumed by CI; text
 is the default for humans.  ``--show-waived`` lists waived findings in
 the text report (JSON always includes them, flagged ``"waived": true``).
+
+The CLI defaults to ``--engine dataflow`` — the interprocedural
+REPRO5xx/6xx analyses — while the library API keeps the syntactic
+engine as its default.  ``--baseline lint_baseline.json`` turns the
+run into a ratchet: findings recorded in the baseline are reported but
+do not fail the run, new ones do; ``--write-baseline`` regenerates the
+file and ``--strict`` ignores it (advisory full-severity mode, the
+lint mirror of ``bench_gate.py --strict``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.engine import lint_paths
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import ENGINES, LintResult, lint_paths
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import RULES
 
@@ -55,7 +71,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--engine", choices=list(ENGINES), default="dataflow",
+        help="syntactic: single-statement pattern rules; dataflow "
+        "(default): interprocedural taint + ownership analyses "
+        "(REPRO5xx/6xx replace REPRO103/REPRO401)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="ratchet file: findings recorded there are reported but "
+        "do not fail the run; new findings still do",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="ignore --baseline: every finding counts (advisory mode)",
+    )
     return parser
+
+
+def _apply_baseline_file(result: LintResult, path: Path) -> int:
+    """Mark baselined findings; returns how many were suppressed."""
+    baseline = load_baseline(path) if path.exists() else {}
+    _new, baselined = apply_baseline(result.active, baseline)
+    if not baselined:
+        return 0
+    suppressed = {id(finding) for finding in baselined}
+    result.findings = [
+        replace(finding, waived=True, waiver_reason=f"baselined in {path}")
+        if id(finding) in suppressed
+        else finding
+        for finding in result.findings
+    ]
+    return len(baselined)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -69,7 +120,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.select
         else None
     )
-    result = lint_paths(args.paths, select=select)
+    if args.write_baseline and not args.baseline:
+        print("--write-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
+    result = lint_paths(args.paths, select=select, engine=args.engine)
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if args.write_baseline:
+            write_baseline(baseline_path, result.active)
+            print(
+                f"wrote {len(result.active)} finding(s) to {baseline_path}"
+            )
+            return EXIT_CLEAN
+        if not args.strict:
+            try:
+                _apply_baseline_file(result, baseline_path)
+            except BaselineError as exc:
+                print(str(exc), file=sys.stderr)
+                return EXIT_ERRORS
     if args.format == "json":
         sys.stdout.write(render_json(result))
     else:

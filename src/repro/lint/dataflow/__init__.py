@@ -1,0 +1,54 @@
+"""Whole-program dataflow engine behind ``repro.lint --engine dataflow``.
+
+The syntactic rules (:mod:`repro.lint.rules`) are single-statement
+pattern matchers: REPRO103 flags *every* unsorted set iteration and
+REPRO401 pairs a ``SharedMemory`` acquisition with *any* mention of a
+release call in the same module.  Both over-approximate.  This package
+trades the cheap check for an accurate one:
+
+* :mod:`repro.lint.dataflow.cfg` builds an intraprocedural control-flow
+  graph per function — statement-granular, with explicit exception
+  edges, duplicated ``finally`` bodies (normal vs. exceptional copy)
+  and ``with``-exit nodes, so path-sensitive facts survive ``try``/
+  ``except``/``finally``, ``with``, ``while``/``else`` and early
+  returns.
+* :mod:`repro.lint.dataflow.domain` defines the abstract domain: a
+  taint lattice over value provenance (set-iteration order, unordered
+  mapping order, wall clock, global RNG, process environment, hash
+  salt), with deterministic joins — chains are tie-broken
+  lexicographically so the fixpoint output is byte-identical across
+  ``PYTHONHASHSEED``.
+* :mod:`repro.lint.dataflow.summaries` computes a project-wide call
+  graph (name-based, reusing the :mod:`repro.lint.project` walker's
+  idiom) and per-function summaries — which parameters flow to the
+  return value, which taints a call introduces, whether the return
+  value carries an unreleased resource — iterated to a fixpoint so
+  taint and ownership cross function and module boundaries.
+* :mod:`repro.lint.dataflow.taint` is the nondeterminism taint
+  analysis (REPRO501–REPRO504): a worklist fixpoint per function that
+  reports only when a tainted value *reaches* a sink (order-sensitive
+  float fold, digest/cache-key construction, JSON/artefact emission,
+  ``CostLedger`` deterministic counters), carrying the full
+  ``source → through f() → sink`` chain in the diagnostic.
+* :mod:`repro.lint.dataflow.ownership` is the resource lifetime
+  analysis (REPRO601, superseding the syntactic REPRO401) — a
+  path-sensitive escape check over the CFG flagging acquire sites that
+  can leave the function (including on exception edges) without a
+  release or an ownership transfer — plus the fork-safety rule
+  (REPRO602) for objects captured by a pool initializer and mutated
+  after the fork.
+
+The entry point is :func:`repro.lint.dataflow.engine.analyze_project`;
+``repro.lint.engine.lint_sources(..., engine="dataflow")`` layers it
+under the existing waiver/report machinery, and
+:mod:`repro.lint.baseline` tracks pre-existing findings so only *new*
+ones fail ``check.sh``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.dataflow.cfg import CFG, build_cfg
+from repro.lint.dataflow.engine import analyze_project
+from repro.lint.dataflow.summaries import FunctionSummary, build_summaries
+
+__all__ = ["CFG", "build_cfg", "analyze_project", "FunctionSummary", "build_summaries"]

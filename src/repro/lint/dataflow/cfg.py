@@ -1,0 +1,447 @@
+"""Statement-granular control-flow graphs over Python ``ast``.
+
+One :class:`CFG` per function body (or module top level).  Nodes are
+individual statements plus a handful of synthetic nodes (``entry``,
+``exit``, ``raise``, exception dispatchers, ``finally`` copies,
+``with``-exit nodes); edges carry a kind so the analyses and the
+golden tests can tell normal flow from exceptional flow.
+
+Design choices, all in service of the ownership must-analysis:
+
+* **Exception edges** — a statement that may raise (it contains a
+  call, a ``raise`` or an ``assert``) gets an ``except`` edge to the
+  innermost exception dispatcher; the dispatcher fans out to every
+  handler of the enclosing ``try`` *and* to the propagation path
+  (through the ``finally``'s exceptional copy when there is one, then
+  outward, ultimately to the synthetic ``raise`` node).  Attribute and
+  subscript errors are deliberately not modeled — calls dominate the
+  raising surface and modeling every load would drown the leak check
+  in edges.
+* **``finally`` duplication** — the ``finally`` suite is built twice:
+  a *normal* copy on the fall-through path and an *exceptional* copy
+  on the propagation path, exactly as CPython compiles it.  A release
+  in a ``finally`` therefore covers both the normal and the
+  exceptional exit, and a ``finally`` without the release covers
+  neither.
+* **Jump routing** — ``return`` / ``break`` / ``continue`` flow
+  through every pending cleanup (``finally`` normal copy,
+  ``with``-exit) between the jump and its target, so ``with pool:
+  return pool.map(...)`` correctly releases the pool on the return
+  path.  The cleanup chain is shared with the fall-through path; the
+  merge loses a little precision (flow past a cleanup reaches both the
+  jump target and the fall-through successor) which only ever *adds*
+  paths — safe for a may-leak analysis.
+* **``with``-exit nodes** — a synthetic node per ``with`` statement
+  marks where ``__exit__`` runs; the ownership analysis treats it as a
+  release of the context-managed names on both the normal and the
+  exceptional path.
+
+The graph is deterministic by construction: node ids are allocated in
+build order (a pure function of the AST), successor lists are sorted,
+and :meth:`CFG.render` emits a canonical text form the golden tests
+pin down.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "may_raise"]
+
+#: Edge kinds, in the order the renderer prints them.
+EDGE_KINDS = ("next", "true", "false", "loop", "break", "continue",
+              "except", "cleanup", "return")
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement or a synthetic control point."""
+
+    nid: int
+    label: str
+    stmt: Optional[ast.stmt] = None
+    #: line the node anchors diagnostics to (0 for pure synthetics)
+    line: int = 0
+
+
+class CFG:
+    """The control-flow graph of one statement suite."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self._succs: Dict[int, Set[Tuple[int, str]]] = {}
+        self._preds: Dict[int, Set[Tuple[int, str]]] = {}
+        self.entry = self._add("entry")
+        self.exit = self._add("exit")
+        self.raise_exit = self._add("raise")
+
+    # -- construction ---------------------------------------------------
+
+    def _add(self, label: str, stmt: Optional[ast.stmt] = None) -> int:
+        nid = len(self.nodes)
+        line = getattr(stmt, "lineno", 0) if stmt is not None else 0
+        self.nodes.append(CFGNode(nid=nid, label=label, stmt=stmt, line=line))
+        self._succs[nid] = set()
+        self._preds[nid] = set()
+        return nid
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        self._succs[src].add((dst, kind))
+        self._preds[dst].add((src, kind))
+
+    # -- queries --------------------------------------------------------
+
+    def succs(self, nid: int) -> List[Tuple[int, str]]:
+        return sorted(self._succs[nid])
+
+    def preds(self, nid: int) -> List[Tuple[int, str]]:
+        return sorted(self._preds[nid])
+
+    def node(self, nid: int) -> CFGNode:
+        return self.nodes[nid]
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from ``entry`` (deterministic iteration
+        schedule for the forward fixpoints); unreachable nodes are
+        appended in id order so dead code is still analyzed."""
+        seen: Set[int] = set()
+        result: List[int] = []
+
+        def visit(nid: int) -> None:
+            order: List[int] = []
+            stack = [(nid, iter(self.succs(nid)))]
+            seen.add(nid)
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for succ, _kind in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.succs(succ))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+            # reverse per root, so entry's component stays in front of
+            # any unreachable islands appended after it
+            result.extend(reversed(order))
+
+        visit(self.entry)
+        for extra in range(len(self.nodes)):
+            if extra not in seen:
+                visit(extra)
+        return result
+
+    def render(self) -> str:
+        """Canonical text dump for the golden tests."""
+        lines = []
+        for node in self.nodes:
+            succs = ", ".join(
+                f"{kind}->{dst}" for dst, kind in sorted(
+                    self._succs[node.nid],
+                    key=lambda pair: (EDGE_KINDS.index(pair[1]), pair[0]),
+                )
+            )
+            lines.append(f"[{node.nid}] {node.label}: {succs}" if succs
+                         else f"[{node.nid}] {node.label}")
+        return "\n".join(lines) + "\n"
+
+
+def _header_exprs(stmt: ast.stmt) -> Optional[List[ast.AST]]:
+    """For compound statements: the expressions their *header* evaluates.
+
+    The suite's statements get their own CFG nodes and edges, so a
+    ``with``/``if``/``for`` header node must only raise if its own
+    condition/iterable/context expression can — not because somewhere
+    in its body a call appears.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+        return []
+    return None
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Whether a statement can transfer control to an exception edge.
+
+    Calls, ``raise`` and ``assert`` cover the raising surface the
+    ownership analysis cares about; pure loads and stores are treated
+    as non-raising to keep the exception subgraph focused.  For
+    compound statements only the header expressions count (their
+    suites are separate nodes with their own edges).
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    headers = _header_exprs(stmt)
+    roots: List[ast.AST] = [stmt] if headers is None else list(headers)
+    for root in roots:
+        for sub in ast.walk(root):
+            if isinstance(sub, (ast.Call, ast.Await)):
+                return True
+    return False
+
+
+def _catches_all(handler: ast.ExceptHandler) -> bool:
+    """``except:`` / ``except Exception`` / ``except BaseException``."""
+    if handler.type is None:
+        return True
+    node = handler.type
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name in {"Exception", "BaseException"}
+
+
+@dataclass
+class _Cleanup:
+    """One pending cleanup a jump must traverse (finally / with-exit)."""
+
+    entry: int
+    post: int
+
+
+@dataclass
+class _Loop:
+    header: int
+    after: int
+    #: cleanup-stack depth at loop entry — break/continue unwind to here
+    depth: int
+    #: break nodes with the cleanup chain pending at the break site
+    #: (snapshotted there: by the time the loop's after-node exists the
+    #: enclosing try/with frames have already been popped)
+    breaks: List[Tuple[int, List["_Cleanup"]]] = field(default_factory=list)
+
+
+class _Builder:
+    """Structured, recursive CFG construction for one suite."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._cleanups: List[_Cleanup] = []
+        self._loops: List[_Loop] = []
+        #: stack of exception-edge targets; bottom is ``raise_exit``
+        self._exc: List[int] = [cfg.raise_exit]
+
+    # -- jump routing ---------------------------------------------------
+
+    def _route_jump(self, src: int, target: int, kind: str, depth: int) -> None:
+        """Connect ``src`` to ``target`` through cleanups above ``depth``."""
+        self._route_through(src, target, kind, self._cleanups[depth:])
+
+    def _route_through(self, src: int, target: int, kind: str,
+                       pending: List[_Cleanup]) -> None:
+        current, current_kind = src, kind
+        for frame in reversed(pending):
+            self.cfg._edge(current, frame.entry, current_kind)
+            current, current_kind = frame.post, "cleanup"
+        self.cfg._edge(current, target, current_kind)
+
+    # -- suite / statement dispatch ------------------------------------
+
+    def build_suite(self, stmts: Sequence[ast.stmt], heads: List[Tuple[int, str]]
+                    ) -> List[Tuple[int, str]]:
+        """Build a statement list; returns the dangling exits."""
+        frontier = list(heads)
+        for stmt in stmts:
+            if not frontier:
+                # unreachable tail (after return/raise/break): still
+                # build it so its findings exist, entered from nowhere
+                frontier = []
+            frontier = self.build_stmt(stmt, frontier)
+        return frontier
+
+    def _connect(self, frontier: List[Tuple[int, str]], nid: int) -> None:
+        for src, kind in frontier:
+            self.cfg._edge(src, nid, kind)
+
+    def _stmt_node(self, stmt: ast.stmt, tag: str) -> int:
+        return self.cfg._add(f"{tag}@{stmt.lineno}", stmt)
+
+    def build_stmt(self, stmt: ast.stmt, frontier: List[Tuple[int, str]]
+                   ) -> List[Tuple[int, str]]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            nid = self._stmt_node(stmt, "if")
+            self._connect(frontier, nid)
+            self._exc_edge(stmt, nid)
+            body_exits = self.build_suite(stmt.body, [(nid, "true")])
+            if stmt.orelse:
+                else_exits = self.build_suite(stmt.orelse, [(nid, "false")])
+            else:
+                else_exits = [(nid, "false")]
+            return body_exits + else_exits
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, frontier)
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            nid = self._stmt_node(stmt, "return")
+            self._connect(frontier, nid)
+            self._exc_edge(stmt, nid)
+            self._route_jump(nid, cfg.exit, "return", 0)
+            return []
+        if isinstance(stmt, ast.Raise):
+            nid = self._stmt_node(stmt, "raise")
+            self._connect(frontier, nid)
+            cfg._edge(nid, self._exc[-1], "except")
+            return []
+        if isinstance(stmt, ast.Break):
+            nid = self._stmt_node(stmt, "break")
+            self._connect(frontier, nid)
+            loop = self._loops[-1]
+            loop.breaks.append((nid, list(self._cleanups[loop.depth:])))
+            return []
+        if isinstance(stmt, ast.Continue):
+            nid = self._stmt_node(stmt, "continue")
+            self._connect(frontier, nid)
+            loop = self._loops[-1]
+            self._route_jump(nid, loop.header, "continue", loop.depth)
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # a nested definition is one (non-raising) binding statement
+            # here; its body gets its own CFG from the engine
+            nid = self._stmt_node(stmt, "def")
+            self._connect(frontier, nid)
+            return [(nid, "next")]
+        # simple statement (assign, expr, import, assert, pass, ...)
+        nid = self._stmt_node(stmt, type(stmt).__name__.lower())
+        self._connect(frontier, nid)
+        self._exc_edge(stmt, nid)
+        return [(nid, "next")]
+
+    def _exc_edge(self, stmt: ast.stmt, nid: int) -> None:
+        if may_raise(stmt):
+            self.cfg._edge(nid, self._exc[-1], "except")
+
+    # -- compound statements -------------------------------------------
+
+    def _build_loop(self, stmt, frontier: List[Tuple[int, str]]
+                    ) -> List[Tuple[int, str]]:
+        cfg = self.cfg
+        tag = "while" if isinstance(stmt, ast.While) else "for"
+        header = self._stmt_node(stmt, tag)
+        self._connect(frontier, header)
+        self._exc_edge(stmt, header)
+        loop = _Loop(header=header, after=-1, depth=len(self._cleanups))
+        self._loops.append(loop)
+        body_exits = self.build_suite(stmt.body, [(header, "true")])
+        for src, kind in body_exits:
+            cfg._edge(src, header, "loop" if kind == "next" else kind)
+        self._loops.pop()
+        if stmt.orelse:
+            # while/else, for/else: the else suite runs on normal loop
+            # exhaustion, and is skipped by break
+            else_exits = self.build_suite(stmt.orelse, [(header, "false")])
+        else:
+            else_exits = [(header, "false")]
+        exits = list(else_exits)
+        if loop.breaks:
+            # one shared after-node collects every break, each routed
+            # through the cleanup chain that was live at its site
+            after = cfg._add(f"loop-after@{stmt.lineno}")
+            for nid, pending in loop.breaks:
+                self._route_through(nid, after, "break", pending)
+            exits.append((after, "next"))
+        return exits
+
+    def _build_with(self, stmt, frontier: List[Tuple[int, str]]
+                    ) -> List[Tuple[int, str]]:
+        cfg = self.cfg
+        enter = self._stmt_node(stmt, "with")
+        self._connect(frontier, enter)
+        self._exc_edge(stmt, enter)
+        wexit = cfg._add(f"with-exit@{stmt.lineno}", stmt)
+        wexit_exc = cfg._add(f"with-exit-exc@{stmt.lineno}", stmt)
+        cfg._edge(wexit_exc, self._exc[-1], "except")
+        self._exc.append(wexit_exc)
+        self._cleanups.append(_Cleanup(entry=wexit, post=wexit))
+        body_exits = self.build_suite(stmt.body, [(enter, "next")])
+        self._cleanups.pop()
+        self._exc.pop()
+        self._connect(body_exits, wexit)
+        return [(wexit, "next")]
+
+    def _build_try(self, stmt, frontier: List[Tuple[int, str]]
+                   ) -> List[Tuple[int, str]]:
+        cfg = self.cfg
+        line = stmt.lineno
+        outer_exc = self._exc[-1]
+        has_finally = bool(stmt.finalbody)
+
+        # exceptional-finally copy: propagation path out of this try
+        if has_finally:
+            fin_exc_entry = cfg._add(f"finally-exc@{line}", stmt)
+            fin_exc_exits = self.build_suite(
+                stmt.finalbody, [(fin_exc_entry, "next")]
+            )
+            for src, kind in fin_exc_exits:
+                cfg._edge(src, outer_exc, "except" if kind == "next" else kind)
+            propagate = fin_exc_entry
+        else:
+            propagate = outer_exc
+
+        dispatch = cfg._add(f"except-dispatch@{line}", stmt)
+        handler_heads: List[int] = []
+        for handler in stmt.handlers:
+            head = cfg._add(f"handler@{handler.lineno}", handler)
+            cfg._edge(dispatch, head, "except")
+            handler_heads.append(head)
+        # the raised exception may match no handler: propagate — unless
+        # some handler catches everything (``except:``, ``except
+        # Exception``); BaseException escapes mid-cleanup are out of
+        # scope for the leak analysis
+        if not any(_catches_all(handler) for handler in stmt.handlers):
+            cfg._edge(dispatch, propagate, "except")
+
+        # normal-finally copy (fall-through, returns, handled exits)
+        if has_finally:
+            fin_entry = cfg._add(f"finally@{line}", stmt)
+            fin_exits = self.build_suite(stmt.finalbody, [(fin_entry, "next")])
+            post_nodes = [src for src, _ in fin_exits]
+            post = post_nodes[0] if post_nodes else fin_entry
+            self._cleanups.append(_Cleanup(entry=fin_entry, post=post))
+        else:
+            fin_entry = -1
+            fin_exits = []
+
+        self._exc.append(dispatch)
+        body_exits = self.build_suite(stmt.body, frontier)
+        self._exc.pop()
+        if stmt.orelse:
+            body_exits = self.build_suite(stmt.orelse, body_exits)
+
+        # handlers run with the *outer* exception context (a raise in a
+        # handler propagates out, through the exceptional finally)
+        handled_exits: List[Tuple[int, str]] = []
+        for handler, head in zip(stmt.handlers, handler_heads):
+            self._exc.append(propagate)
+            handled_exits.extend(self.build_suite(handler.body, [(head, "next")]))
+            self._exc.pop()
+
+        if has_finally:
+            self._cleanups.pop()
+            self._connect(body_exits + handled_exits, fin_entry)
+            return fin_exits if fin_exits else [(fin_entry, "next")]
+        return body_exits + handled_exits
+
+
+def build_cfg(stmts: Sequence[ast.stmt]) -> CFG:
+    """Build the CFG of one statement suite (function body or module)."""
+    cfg = CFG()
+    builder = _Builder(cfg)
+    exits = builder.build_suite(list(stmts), [(cfg.entry, "next")])
+    for src, kind in exits:
+        cfg._edge(src, cfg.exit, kind)
+    return cfg

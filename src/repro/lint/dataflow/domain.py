@@ -1,0 +1,197 @@
+"""The abstract domain of the taint analysis: value provenance.
+
+A :class:`Taint` records *why* a value is nondeterministic — its kind
+(which ambient source it derives from) and the source location — plus
+the hop chain the diagnostic prints (``source → through f() → sink``).
+
+The lattice element is :class:`TaintSet`: a finite map from
+``(kind, origin)`` to the *shortest, lexicographically smallest* chain
+seen for that source.  Joins are unions with that canonical chain
+tie-break, which gives the two properties the engine's contract needs:
+
+* **termination** — the key set per function is finite (one key per
+  syntactic source plus the call-summary keys), and a join never
+  replaces a chain with a longer or lexicographically larger one, so
+  the fixpoint cannot oscillate;
+* **determinism** — no step depends on ``dict``/``set`` iteration
+  order of hashes, so the findings are byte-identical across
+  ``PYTHONHASHSEED`` (enforced by ``tests/lint/test_dataflow_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "ORDER_KINDS",
+    "Taint",
+    "TaintSet",
+    "EMPTY",
+    "TaintState",
+]
+
+#: Kinds whose hazard is *iteration order* (erased by ``sorted()`` and
+#: by order-insensitive folds); the remaining kinds — ``wall-clock``,
+#: ``rng``, ``hash``, ``env``, ``param`` — taint the value itself.
+ORDER_KINDS = frozenset({"set-order", "dict-order"})
+
+#: Longest chain kept on a taint; hops beyond this collapse into "…".
+_MAX_CHAIN = 6
+
+
+class Taint:
+    """One provenance fact: ``kind`` from ``origin`` via ``chain``."""
+
+    __slots__ = ("kind", "origin", "chain")
+
+    def __init__(self, kind: str, origin: str, chain: Tuple[str, ...] = ()) -> None:
+        self.kind = kind
+        self.origin = origin
+        self.chain = chain if chain else (origin,)
+
+    def key(self) -> Tuple[str, str]:
+        return (self.kind, self.origin)
+
+    def extend(self, hop: str) -> "Taint":
+        """A copy with one more hop appended (bounded length)."""
+        chain = self.chain
+        if len(chain) >= _MAX_CHAIN:
+            chain = chain[: _MAX_CHAIN - 1] + ("…",)
+            if chain[-2:] == ("…", "…"):
+                return self
+        else:
+            chain = chain + (hop,)
+        return Taint(self.kind, self.origin, chain)
+
+    def render_chain(self) -> str:
+        return " -> ".join(self.chain)
+
+    def __repr__(self) -> str:  # debugging only
+        return f"Taint({self.kind!r}, {self.origin!r})"
+
+
+def _better(a: Tuple[str, ...], b: Tuple[str, ...]) -> Tuple[str, ...]:
+    """The canonical of two chains: shorter wins, then lexicographic."""
+    return min(a, b, key=lambda c: (len(c), c))
+
+
+class TaintSet:
+    """Immutable set of taints keyed by ``(kind, origin)``.
+
+    Internally a sorted tuple of ``(key, chain)`` pairs; all
+    operations preserve the canonical order so equality, iteration and
+    rendering are deterministic.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, taints: Iterable[Taint] = ()) -> None:
+        merged: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        for taint in taints:
+            key = taint.key()
+            if key in merged:
+                merged[key] = _better(merged[key], taint.chain)
+            else:
+                merged[key] = taint.chain
+        self._entries: Tuple[Tuple[Tuple[str, str], Tuple[str, ...]], ...] = tuple(
+            (key, merged[key]) for key in sorted(merged)
+        )
+
+    def __iter__(self) -> Iterator[Taint]:
+        for (kind, origin), chain in self._entries:
+            yield Taint(kind, origin, chain)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(key for key, _ in self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaintSet):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        # repro-lint: allow[REPRO104] hashing protocol only; never ordered by or persisted
+        return hash(self._entries)
+
+    def same_keys(self, other: "TaintSet") -> bool:
+        """Key-level equality — the fixpoint's convergence test.
+
+        Chains are excluded: a longer path through a loop may discover
+        an equal-length alternative chain without adding information,
+        and convergence on keys bounds the iteration count.
+        """
+        return self.keys() == other.keys()
+
+    def union(self, other: "TaintSet") -> "TaintSet":
+        if not other:
+            return self
+        if not self:
+            return other
+        return TaintSet(list(self) + list(other))
+
+    def extend(self, hop: str) -> "TaintSet":
+        return TaintSet(taint.extend(hop) for taint in self)
+
+    def drop_order(self) -> "TaintSet":
+        """Erase order-kinds (the effect of ``sorted()`` and friends)."""
+        return TaintSet(t for t in self if t.kind not in ORDER_KINDS)
+
+    def only(self, kinds: frozenset) -> "TaintSet":
+        return TaintSet(t for t in self if t.kind in kinds)
+
+    def without(self, kinds: frozenset) -> "TaintSet":
+        return TaintSet(t for t in self if t.kind not in kinds)
+
+    def first(self) -> Optional[Taint]:
+        """The canonical representative (smallest key) for diagnostics."""
+        for taint in self:
+            return taint
+        return None
+
+
+EMPTY = TaintSet()
+
+
+class TaintState:
+    """Abstract state at one program point: variable name → TaintSet.
+
+    Missing names are untainted.  States are compared by their key
+    projection (see :meth:`TaintSet.same_keys`) so the worklist
+    terminates.
+    """
+
+    __slots__ = ("vars",)
+
+    def __init__(self, variables: Optional[Mapping[str, TaintSet]] = None) -> None:
+        self.vars: Dict[str, TaintSet] = dict(variables or {})
+
+    def copy(self) -> "TaintState":
+        return TaintState(self.vars)
+
+    def get(self, name: str) -> TaintSet:
+        return self.vars.get(name, EMPTY)
+
+    def set(self, name: str, taints: TaintSet) -> None:
+        if taints:
+            self.vars[name] = taints
+        else:
+            self.vars.pop(name, None)
+
+    def join(self, other: "TaintState") -> "TaintState":
+        out = TaintState(self.vars)
+        for name in other.vars:
+            out.set(name, out.get(name).union(other.vars[name]))
+        return out
+
+    def same_keys(self, other: "TaintState") -> bool:
+        if sorted(self.vars) != sorted(other.vars):
+            return False
+        return all(
+            self.vars[name].same_keys(other.vars[name]) for name in self.vars
+        )

@@ -1,0 +1,58 @@
+"""Project-level driver for the dataflow engine.
+
+:func:`analyze_project` is the single entry point the lint engine
+calls: build the function inventory, iterate summaries to a project
+fixpoint (taint and ownership halves computed together, since a
+function's summary needs both), then report every module against the
+final summaries.  All iteration orders are sorted — the result is a
+pure function of the source text.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from repro.lint.dataflow import ownership, taint
+from repro.lint.dataflow.summaries import (
+    FunctionInfo,
+    FunctionSummary,
+    SummaryMap,
+    build_summaries,
+    collect_functions,
+)
+from repro.lint.findings import Finding
+from repro.lint.project import ProjectContext
+
+__all__ = ["analyze_project", "DATAFLOW_RULE_IDS"]
+
+#: Every rule the dataflow engine can emit.
+DATAFLOW_RULE_IDS = taint.TAINT_RULE_IDS + ownership.OWNERSHIP_RULE_IDS
+
+
+def analyze_project(
+    trees: Dict[str, ast.Module], project: ProjectContext
+) -> List[Finding]:
+    """Interprocedural REPRO5xx/6xx findings for the parsed file set."""
+    functions = collect_functions(trees)
+
+    def summarize(info: FunctionInfo, summaries: SummaryMap) -> FunctionSummary:
+        param_to_return, intrinsic, param_sinks, returns_set = (
+            taint.summarize_function(info, summaries, project)
+        )
+        return FunctionSummary(
+            param_to_return=param_to_return,
+            intrinsic_return=intrinsic,
+            param_sinks=param_sinks,
+            returns_set=returns_set,
+            resource_indices=ownership.resource_summary(info, summaries),
+        )
+
+    summaries = build_summaries(functions, project, summarize)
+
+    findings: List[Finding] = []
+    for path in sorted(trees):
+        findings.extend(taint.report_module(path, trees[path], project, summaries))
+        findings.extend(ownership.report_module(path, trees[path], summaries))
+    findings.sort(key=lambda finding: finding.sort_key)
+    return findings

@@ -1,0 +1,199 @@
+"""Project-wide call graph and per-function summaries.
+
+Call resolution is *name-based*, deliberately matching the idiom of
+:mod:`repro.lint.project`: a call ``x.f(...)`` resolves to every
+function named ``f`` in the linted file set, and their summaries are
+joined.  That needs no type checker, is deterministic, and a rare
+over-approximation is what waivers are for.
+
+A :class:`FunctionSummary` is everything a call site needs to know:
+
+* ``param_to_return`` — parameter indices whose taint flows into the
+  return value (``def ident(x): return x`` → ``(0,)``);
+* ``intrinsic_return`` — taints the function *generates* that reach
+  its return value (``def stamp(): return time.time()`` → wall-clock);
+* ``param_sinks`` — parameters that reach a sink *inside* the callee
+  (``def tot(xs): return sum(xs)`` → param 0 reaches an
+  order-sensitive float fold), so the caller's tainted argument is
+  reported at the call site with the full chain;
+* ``returns_set`` — the return value is set-typed, so iterating it at
+  a call site is an order source;
+* ``resource_indices`` — the return value carries an acquired-but-
+  unreleased resource (``"all"``, or tuple-element indices), so the
+  caller inherits the release obligation.
+
+Summaries are computed by running the intraprocedural analyses with
+symbolic parameter taints, iterated over the whole project until a
+fixpoint (joins are monotone unions, so a handful of rounds settles
+even mutually recursive call chains).  Functions are processed in
+sorted ``(path, qualname)`` order — the result is independent of file
+discovery order and ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lint.dataflow.domain import EMPTY, TaintSet
+from repro.lint.project import ProjectContext, annotation_is_set
+
+__all__ = [
+    "FunctionInfo",
+    "FunctionSummary",
+    "SummaryMap",
+    "collect_functions",
+    "build_summaries",
+]
+
+#: Maximum whole-project summary rounds; unions are monotone over a
+#: finite lattice so this is a backstop, not a tuning knob.
+_MAX_ROUNDS = 5
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method definition found in the linted file set."""
+
+    path: str
+    qualname: str
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        return tuple(names)
+
+    @property
+    def sort_key(self) -> Tuple[str, str]:
+        return (self.path, self.qualname)
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What a call to this (bare) name does to taint and resources."""
+
+    param_to_return: Tuple[int, ...] = ()
+    intrinsic_return: TaintSet = EMPTY
+    #: ``(param_index, rule_id, order_only, sink_description)``
+    param_sinks: Tuple[Tuple[int, str, bool, str], ...] = ()
+    returns_set: bool = False
+    #: ``None`` (no resource), ``"all"`` or tuple-element indices
+    resource_indices: Optional[Union[str, Tuple[int, ...]]] = None
+
+    def join(self, other: "FunctionSummary") -> "FunctionSummary":
+        resource: Optional[Union[str, Tuple[int, ...]]]
+        if self.resource_indices == "all" or other.resource_indices == "all":
+            resource = "all"
+        elif self.resource_indices is None:
+            resource = other.resource_indices
+        elif other.resource_indices is None:
+            resource = self.resource_indices
+        else:
+            resource = tuple(
+                sorted(set(self.resource_indices) | set(other.resource_indices))
+            )
+        return FunctionSummary(
+            param_to_return=tuple(
+                sorted(set(self.param_to_return) | set(other.param_to_return))
+            ),
+            intrinsic_return=self.intrinsic_return.union(other.intrinsic_return),
+            param_sinks=tuple(
+                sorted(set(self.param_sinks) | set(other.param_sinks))
+            ),
+            returns_set=self.returns_set or other.returns_set,
+            resource_indices=resource,
+        )
+
+    def same_shape(self, other: "FunctionSummary") -> bool:
+        """Convergence test: everything except taint chains."""
+        return (
+            self.param_to_return == other.param_to_return
+            and self.intrinsic_return.keys() == other.intrinsic_return.keys()
+            and self.param_sinks == other.param_sinks
+            and self.returns_set == other.returns_set
+            and self.resource_indices == other.resource_indices
+        )
+
+
+@dataclass
+class SummaryMap:
+    """Joined summaries keyed by bare function name."""
+
+    by_name: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: bare names annotated (or inferred) to return set-typed values
+    set_returning: frozenset = frozenset()
+
+    def lookup(self, name: str) -> Optional[FunctionSummary]:
+        return self.by_name.get(name)
+
+    def returns_set(self, name: str) -> bool:
+        if name in self.set_returning:
+            return True
+        summary = self.by_name.get(name)
+        return bool(summary and summary.returns_set)
+
+
+def collect_functions(trees: Dict[str, ast.Module]) -> List[FunctionInfo]:
+    """Every function/method definition, in deterministic order."""
+    out: List[FunctionInfo] = []
+
+    def walk(path: str, node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                out.append(FunctionInfo(path=path, qualname=qual, node=child))
+                walk(path, child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                walk(path, child, f"{prefix}{child.name}.")
+
+    for path in sorted(trees):
+        walk(path, trees[path], "")
+    out.sort(key=lambda info: info.sort_key)
+    return out
+
+
+def _returns_set_annotation(info: FunctionInfo) -> bool:
+    node = info.node
+    return node.returns is not None and annotation_is_set(node.returns)
+
+
+def build_summaries(
+    functions: List[FunctionInfo],
+    project: ProjectContext,
+    summarize,
+) -> SummaryMap:
+    """Iterate ``summarize(info, summaries)`` to a project fixpoint.
+
+    ``summarize`` is injected (it lives in :mod:`.taint`, which imports
+    this module) and must be a pure function of its inputs.
+    """
+    set_returning = frozenset(project.set_returning) | frozenset(
+        info.name for info in functions if _returns_set_annotation(info)
+    )
+    summaries = SummaryMap(set_returning=set_returning)
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        fresh: Dict[str, FunctionSummary] = {}
+        for info in functions:
+            summary = summarize(info, summaries)
+            if info.name in fresh:
+                fresh[info.name] = fresh[info.name].join(summary)
+            else:
+                fresh[info.name] = summary
+        for name in sorted(fresh):
+            old = summaries.by_name.get(name)
+            if old is None or not old.same_shape(fresh[name]):
+                changed = True
+            summaries.by_name[name] = (
+                fresh[name] if old is None else old.join(fresh[name])
+            )
+        if not changed:
+            break
+    return summaries

@@ -21,10 +21,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.findings import Finding, Severity
 from repro.lint.project import ProjectContext, collect_project_context
-from repro.lint.rules import RULES_BY_ID, run_rules
+from repro.lint.rules import RULES_BY_ID, SUPERSEDED_BY_DATAFLOW, run_rules
 from repro.lint.waivers import Waiver, parse_waivers
 
-__all__ = ["LintResult", "lint_paths", "lint_source"]
+__all__ = ["LintResult", "lint_paths", "lint_source", "ENGINES"]
+
+#: ``syntactic`` is the historical single-statement pattern matcher;
+#: ``dataflow`` swaps REPRO103/REPRO401 for the interprocedural
+#: REPRO5xx/6xx analyses of :mod:`repro.lint.dataflow`.
+ENGINES = ("syntactic", "dataflow")
 
 
 @dataclass
@@ -88,6 +93,62 @@ def _iter_python_files(paths: Sequence[str]) -> List[Tuple[str, Path]]:
             out.append((str(root), root))
     out.sort(key=lambda pair: pair[0])
     return out
+
+
+#: Header-only compound statements: a waiver above one covers the
+#: header lines, not the whole (possibly hundred-line) suite.
+_COMPOUND = (
+    ast.If, ast.While, ast.For, ast.AsyncFor, ast.With, ast.AsyncWith,
+    ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+)
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """``(first_line, last_line)`` of every statement's own code.
+
+    Simple statements span ``lineno..end_lineno``; compound statements
+    span only their header (up to the first body statement), so a
+    waiver never silently blankets an entire suite.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, _COMPOUND):
+            body = getattr(node, "body", None)
+            end = body[0].lineno - 1 if body else node.lineno
+        else:
+            end = node.end_lineno or node.lineno
+        spans.append((node.lineno, max(end, node.lineno)))
+    return spans
+
+
+def _attach_waiver_spans(tree: ast.Module, waivers: List[Waiver]) -> None:
+    """Give each waiver the full line span of the statement it annotates.
+
+    A trailing waiver (comment on some line *inside* a multi-line
+    statement) covers that statement's tightest containing span; a
+    waiver on its own line covers the widest statement starting on the
+    next line.  Both also keep the historical two-line window
+    ``{line, line + 1}`` — a trailing waiver covering the immediately
+    following line is an established idiom in this codebase.
+    """
+    spans = _statement_spans(tree)
+    for waiver in waivers:
+        lines = {waiver.line, waiver.line + 1}
+        containing = [
+            span for span in spans if span[0] <= waiver.line <= span[1]
+        ]
+        if containing:
+            start, end = min(
+                containing, key=lambda span: (span[1] - span[0], span[0])
+            )
+            lines.update(range(start, end + 1))
+        following = [span for span in spans if span[0] == waiver.line + 1]
+        if following:
+            start, end = max(following, key=lambda span: span[1] - span[0])
+            lines.update(range(start, end + 1))
+        waiver.covered_lines = frozenset(lines)
 
 
 def _lint_waivers(
@@ -181,12 +242,19 @@ def _dedupe(findings: Iterable[Finding]) -> List[Finding]:
 def lint_sources(
     sources: Dict[str, str],
     select: Optional[Iterable[str]] = None,
+    engine: str = "syntactic",
 ) -> LintResult:
     """Lint in-memory sources: ``{display_path: source_text}``.
 
     The primitive behind :func:`lint_paths`; also what the test suite
-    and the mutation gate call directly.
+    and the mutation gate call directly.  ``engine="dataflow"`` runs
+    the interprocedural analyses of :mod:`repro.lint.dataflow` instead
+    of the superseded syntactic rules (REPRO103/REPRO401); the library
+    default stays ``syntactic`` — the CLI is what defaults to
+    ``dataflow``.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown lint engine {engine!r}; expected {ENGINES}")
     chosen = frozenset(select) if select is not None else None
     result = LintResult()
     trees: Dict[str, ast.Module] = {}
@@ -198,10 +266,22 @@ def lint_sources(
         except SyntaxError as exc:
             result.parse_failures.append((path, str(exc)))
             continue
-        waivers_by_path[path] = parse_waivers(sources[path])
+        waivers = parse_waivers(sources[path])
+        _attach_waiver_spans(trees[path], waivers)
+        waivers_by_path[path] = waivers
     project = collect_project_context(trees)
+    dataflow_by_path: Dict[str, List[Finding]] = {}
+    if engine == "dataflow":
+        from repro.lint.dataflow.engine import analyze_project
+
+        for finding in analyze_project(trees, project):
+            dataflow_by_path.setdefault(finding.path, []).append(finding)
     for path in sorted(trees):
-        raw = _dedupe(run_rules(path, trees[path], project))
+        raw = run_rules(path, trees[path], project)
+        if engine == "dataflow":
+            raw = [f for f in raw if f.rule_id not in SUPERSEDED_BY_DATAFLOW]
+            raw.extend(dataflow_by_path.get(path, []))
+        raw = _dedupe(raw)
         if chosen is not None:
             raw = [f for f in raw if f.rule_id in chosen]
         waivers = waivers_by_path[path]
@@ -216,14 +296,16 @@ def lint_source(
     source: str,
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
+    engine: str = "syntactic",
 ) -> LintResult:
     """Lint a single in-memory module (convenience for tests)."""
-    return lint_sources({path: source}, select=select)
+    return lint_sources({path: source}, select=select, engine=engine)
 
 
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
+    engine: str = "syntactic",
 ) -> LintResult:
     """Lint files/directories from disk.  See :func:`lint_sources`."""
     sources: Dict[str, str] = {}
@@ -233,7 +315,7 @@ def lint_paths(
             sources[display] = file.read_text()
         except OSError as exc:
             missing.append(f"{display}: {exc}")
-    result = lint_sources(sources, select=select)
+    result = lint_sources(sources, select=select, engine=engine)
     for entry in missing:
         result.parse_failures.append((entry.split(":", 1)[0], entry))
     return result

@@ -17,7 +17,19 @@ REPRO202  warning   bare ``except:``
 REPRO301  error     malformed waiver (no reason, or unknown rule id)
 REPRO302  warning   unused waiver
 REPRO401  error     SharedMemory/Pool acquired without paired cleanup
+REPRO501  error     (dataflow) iteration order reaches a float fold
+REPRO502  error     (dataflow) nondeterminism reaches a digest/cache key
+REPRO503  error     (dataflow) nondeterminism reaches JSON/artefact emission
+REPRO504  error     (dataflow) nondeterminism reaches a CostLedger counter
+REPRO601  error     (dataflow) resource may escape without release/transfer
+REPRO602  error     (dataflow) fork-captured object mutated after the fork
 ========  ========  ===========================================================
+
+The REPRO1xx–4xx rules are single-statement pattern matchers; the
+REPRO5xx/6xx rules come from :mod:`repro.lint.dataflow` and only fire
+when a worklist fixpoint proves the hazard reaches a sink (or a
+resource escapes).  ``--engine dataflow`` swaps REPRO103/REPRO401 for
+their flow-sensitive successors.
 
 The visitor is intentionally heuristic, not a type checker: it
 over-approximates (``sum()`` of integer attributes still fires) and
@@ -130,9 +142,77 @@ RULES: List[Rule] = [
         "call (route acquisition through repro.batch.shm / "
         "repro.batch.pool, which own the lifecycle).",
     ),
+    Rule(
+        "REPRO501",
+        Severity.ERROR,
+        "nondeterministic iteration order reaches a float fold",
+        "Set/dict iteration order feeding builtin sum() or a += "
+        "reduction makes the result depend on PYTHONHASHSEED and "
+        "insertion history.  Unlike REPRO103 this fires only when the "
+        "dataflow engine proves the order actually reaches an "
+        "order-sensitive fold — sorted() or math.fsum anywhere on the "
+        "path clears it.",
+    ),
+    Rule(
+        "REPRO502",
+        Severity.ERROR,
+        "nondeterministic value reaches a digest / cache key",
+        "A cache key or artefact digest built from set order, wall "
+        "clock, RNG, hash() salt or the environment differs between "
+        "processes: caches silently miss (or worse, collide) and "
+        "byte-identity audits fail.  The diagnostic carries the full "
+        "source -> through f() -> sink chain.",
+    ),
+    Rule(
+        "REPRO503",
+        Severity.ERROR,
+        "nondeterministic value reaches JSON/artefact emission",
+        "Artefacts are compared byte-for-byte across reruns "
+        "(docs/OBSERVABILITY.md); a json.dump/write_text fed from an "
+        "unordered iteration or ambient source breaks the replay "
+        "contract exactly where it is audited.",
+    ),
+    Rule(
+        "REPRO504",
+        Severity.ERROR,
+        "nondeterministic value reaches a CostLedger deterministic counter",
+        "CostLedger.add_work/add_port_work/add_sweep feed the "
+        "deterministic section of ledger snapshots, which must be "
+        "bit-identical across --jobs and cache states; the runtime/"
+        "cache channels are the sanctioned home for nondeterministic "
+        "telemetry.",
+    ),
+    Rule(
+        "REPRO601",
+        Severity.ERROR,
+        "acquired resource may escape without release or transfer",
+        "Path-sensitive successor of REPRO401: a SharedMemory segment, "
+        "arena or worker pool acquired on some path that can reach the "
+        "function exit — or propagate an exception — while still owned "
+        "leaks a kernel object.  Release it, return it, hand it to the "
+        "repro.batch.shm._OWNED registry, or manage it with 'with'.",
+    ),
+    Rule(
+        "REPRO602",
+        Severity.ERROR,
+        "object captured by a fork initializer is mutated after the fork",
+        "Pool initializer arguments are snapshotted into workers at "
+        "fork time; mutating the parent's copy afterwards silently "
+        "diverges parent and workers, producing results that depend on "
+        "fork timing.  Build the payload completely before the pool.",
+    ),
 ]
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}
+
+#: Legacy rule ids that newer rules supersede.  A waiver naming the
+#: old id also covers findings of its successors, so existing
+#: ``allow[REPRO401]`` comments keep working under the dataflow engine.
+WAIVER_ALIASES: Dict[str, tuple] = {"REPRO401": ("REPRO601", "REPRO602")}
+
+#: Syntactic rules the dataflow engine replaces with flow-sensitive
+#: successors (REPRO103 -> REPRO501/502/503/504, REPRO401 -> REPRO601).
+SUPERSEDED_BY_DATAFLOW = frozenset({"REPRO103", "REPRO401"})
 
 
 # ----------------------------------------------------------------------

@@ -1,12 +1,21 @@
 """Inline waiver comments: ``# repro-lint: allow[RULE-ID] reason``.
 
-A waiver suppresses findings of the listed rule ids on its own line or
-on the line immediately below (so it can sit above a long statement).
-Several ids may be listed comma-separated::
+A waiver suppresses findings of the listed rule ids on the statement
+it annotates: its own line, the line immediately below, and — when
+that statement spans several physical lines — every line of the
+statement (the engine computes the span from the AST and stores it in
+:attr:`Waiver.covered_lines`, so a waiver above a wrapped ``sum(...)``
+covers the whole call, not just its first line).  Several ids may be
+listed comma-separated::
 
     demand = sum(counts)  # repro-lint: allow[REPRO101] integer counters
     # repro-lint: allow[REPRO101,REPRO103] ordered tuple; fsum shifts goldens
     total = sum(values)
+
+Retired rule ids stay honoured: a waiver naming ``REPRO401`` also
+covers findings of its dataflow successors (see
+:data:`repro.lint.rules.WAIVER_ALIASES`), so upgrading the engine does
+not invalidate the existing review trail.
 
 Waivers are themselves linted: a waiver without a reason or naming an
 unknown rule id is a REPRO301 error, and a waiver that suppressed
@@ -20,7 +29,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 __all__ = ["Waiver", "parse_waivers", "WAIVER_RE"]
 
@@ -42,13 +51,34 @@ class Waiver:
     rule_ids: Tuple[str, ...]
     reason: str
     used: bool = field(default=False, compare=False)
+    #: Full set of physical lines this waiver covers — the annotated
+    #: statement's span, filled in by the engine from the AST.  When
+    #: ``None`` (no span information available) the legacy two-line
+    #: window applies.
+    covered_lines: Optional[FrozenSet[int]] = field(default=None, compare=False)
+
+    def _names(self, rule_id: str) -> bool:
+        if rule_id in self.rule_ids:
+            return True
+        from repro.lint.rules import WAIVER_ALIASES
+
+        return any(
+            rule_id in WAIVER_ALIASES.get(listed, ()) for listed in self.rule_ids
+        )
 
     def covers(self, rule_id: str, line: int) -> bool:
         """True when this waiver applies to ``rule_id`` at ``line``.
 
-        A waiver covers its own line and the line immediately below.
+        A waiver covers the full statement it annotates (own line,
+        next line, and — once the engine attached the AST span — every
+        physical line of that statement).  Rule ids are matched
+        including legacy aliases (``allow[REPRO401]`` covers REPRO601).
         """
-        return rule_id in self.rule_ids and line in (self.line, self.line + 1)
+        if not self._names(rule_id):
+            return False
+        if self.covered_lines is not None:
+            return line in self.covered_lines
+        return line in (self.line, self.line + 1)
 
 
 def parse_waivers(source: str) -> List[Waiver]:

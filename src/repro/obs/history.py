@@ -275,9 +275,11 @@ def build_run_record(
         record["error"] = str(error)
     _RUN_COUNTER += 1
     seed = hashlib.sha256()
+    # repro-lint: allow[REPRO502] run_id must be unique per run: salted with time/pid by design
     seed.update(recorded.encode())
     seed.update(str(os.getpid()).encode())
     seed.update(str(_RUN_COUNTER).encode())
+    # repro-lint: allow[REPRO502,REPRO503] deterministic_view() strips every volatile field first
     seed.update(
         json.dumps(deterministic_view(record), sort_keys=True).encode()
     )

@@ -1,0 +1,184 @@
+"""Golden tests for the dataflow engine's CFG builder.
+
+Each test pins the exact ``CFG.render()`` text for one control
+construct, so any change to node splitting, edge routing or exception
+modelling shows up as a readable diff instead of a silent behaviour
+shift in the analyses built on top.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.dataflow import build_cfg
+from repro.lint.dataflow.cfg import EDGE_KINDS
+
+
+def _render(source: str) -> str:
+    return build_cfg(ast.parse(source).body).render()
+
+
+class TestGoldenRenders:
+    def test_try_except_finally(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except ValueError:\n"
+            "    handle()\n"
+            "finally:\n"
+            "    cleanup()\n"
+        )
+        # the finally body is duplicated: node 10/7 on the normal path,
+        # node 3/4 on the exceptional one (its own failures still
+        # propagate); the dispatch node keeps an edge to the
+        # exceptional finally because ValueError does not catch all.
+        assert _render(src) == (
+            "[0] entry: next->9\n"
+            "[1] exit\n"
+            "[2] raise\n"
+            "[3] finally-exc@1: next->4\n"
+            "[4] expr@6: except->2\n"
+            "[5] except-dispatch@1: except->3, except->6\n"
+            "[6] handler@3: next->10\n"
+            "[7] finally@1: next->8\n"
+            "[8] expr@6: next->1, except->2\n"
+            "[9] expr@2: next->7, except->5\n"
+            "[10] expr@4: next->7, except->3\n"
+        )
+
+    def test_catch_all_handler_removes_propagation(self):
+        src = (
+            "try:\n"
+            "    risky()\n"
+            "except Exception:\n"
+            "    handle()\n"
+        )
+        # `except Exception` catches everything the analyses model, so
+        # the dispatch node must NOT keep an except edge to raise/exit
+        # (that phantom path caused close-and-reraise false positives).
+        assert _render(src) == (
+            "[0] entry: next->5\n"
+            "[1] exit\n"
+            "[2] raise\n"
+            "[3] except-dispatch@1: except->4\n"
+            "[4] handler@3: next->6\n"
+            "[5] expr@2: next->1, except->3\n"
+            "[6] expr@4: next->1, except->2\n"
+        )
+
+    def test_with_block(self):
+        src = (
+            "with open(p) as fh:\n"
+            "    data = fh.read()\n"
+            "done()\n"
+        )
+        # with-exit (normal __exit__) vs with-exit-exc (exceptional
+        # unwind); the body's except edge routes through the latter.
+        assert _render(src) == (
+            "[0] entry: next->3\n"
+            "[1] exit\n"
+            "[2] raise\n"
+            "[3] with@1: next->6, except->2\n"
+            "[4] with-exit@1: next->7\n"
+            "[5] with-exit-exc@1: except->2\n"
+            "[6] assign@2: next->4, except->5\n"
+            "[7] expr@3: next->1, except->2\n"
+        )
+
+    def test_comprehension_is_one_node(self):
+        src = (
+            "items = [f(x) for x in xs]\n"
+            "total = sum(items)\n"
+        )
+        # comprehensions evaluate within their statement's node — the
+        # taint analysis handles their binding structure expression-side.
+        assert _render(src) == (
+            "[0] entry: next->3\n"
+            "[1] exit\n"
+            "[2] raise\n"
+            "[3] assign@1: next->4, except->2\n"
+            "[4] assign@2: next->1, except->2\n"
+        )
+
+    def test_while_else(self):
+        src = (
+            "while pending():\n"
+            "    step()\n"
+            "else:\n"
+            "    finish()\n"
+            "after()\n"
+        )
+        # false edge enters the else suite; loop edge returns to the test.
+        assert _render(src) == (
+            "[0] entry: next->3\n"
+            "[1] exit\n"
+            "[2] raise\n"
+            "[3] while@1: true->4, false->5, except->2\n"
+            "[4] expr@2: loop->3, except->2\n"
+            "[5] expr@4: next->6, except->2\n"
+            "[6] expr@5: next->1, except->2\n"
+        )
+
+
+class TestStructuralInvariants:
+    SOURCES = [
+        "x = 1\n",
+        "for i in xs:\n    if i:\n        break\n    continue\nelse:\n    done()\n",
+        "try:\n    a()\nexcept KeyError:\n    b()\nexcept Exception:\n    c()\nfinally:\n    d()\n",
+        "with a() as x, b() as y:\n    use(x, y)\n",
+        "while True:\n    try:\n        step()\n    finally:\n        note()\n",
+        "def g():\n    return 1\n",
+    ]
+
+    def test_edges_reference_real_nodes_with_known_kinds(self):
+        for src in self.SOURCES:
+            cfg = build_cfg(ast.parse(src).body)
+            nids = {node.nid for node in cfg.nodes}
+            for node in cfg.nodes:
+                for dst, kind in cfg.succs(node.nid):
+                    assert dst in nids
+                    assert kind in EDGE_KINDS
+
+    def test_rpo_starts_at_entry_and_is_stable(self):
+        for src in self.SOURCES:
+            cfg = build_cfg(ast.parse(src).body)
+            order = cfg.rpo()
+            assert order[0] == cfg.entry
+            assert order == cfg.rpo()  # deterministic across calls
+
+    def test_break_and_continue_route_to_loop_edges(self):
+        cfg = build_cfg(
+            ast.parse(
+                "for i in xs:\n"
+                "    if i:\n"
+                "        break\n"
+                "    continue\n"
+                "tail()\n"
+            ).body
+        )
+        kinds = {kind for node in cfg.nodes for _, kind in cfg.succs(node.nid)}
+        assert "break" in kinds
+        assert "continue" in kinds
+
+    def test_break_through_finally_runs_cleanup_first(self):
+        # a break inside try/finally must traverse the finally copy
+        # before leaving the loop — the edge out of the break node goes
+        # to a finally node, not straight past the loop.
+        cfg = build_cfg(
+            ast.parse(
+                "while cond():\n"
+                "    try:\n"
+                "        break\n"
+                "    finally:\n"
+                "        note()\n"
+                "after()\n"
+            ).body
+        )
+        by_nid = {node.nid: node for node in cfg.nodes}
+        break_nodes = [n for n in cfg.nodes if n.label.startswith("break@")]
+        assert break_nodes
+        for node in break_nodes:
+            succs = list(cfg.succs(node.nid))
+            assert succs, "break node must be routed somewhere"
+            for dst, _ in succs:
+                assert by_nid[dst].label.startswith("finally")

@@ -1,0 +1,111 @@
+"""Termination and determinism of the dataflow engine.
+
+The engine's contract (see ``repro/lint/dataflow/domain.py``): the
+fixpoints terminate on arbitrary inputs, and the findings are a pure
+function of the source text — byte-identical across repeated runs,
+``PYTHONHASHSEED`` values and file-walk orders.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lint import lint_sources, render_json
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+
+# -- program generator ----------------------------------------------------
+#
+# Random straight-line/branchy programs assembled from statement
+# templates that exercise every analysis feature: set construction,
+# iteration, sanitizers, sinks, acquire/release, try/finally, loops.
+
+_STMTS = [
+    "v{a} = {{x for x in src{a}}}",
+    "v{a} = sorted(v{b})",
+    "v{a} = list(v{b})",
+    "v{a} = v{b}",
+    "v{a} = time.time()",
+    "v{a} = random.random()",
+    "v{a} = os.getenv('K{b}')",
+    "acc += sum(y * 1.5 for y in v{a})",
+    "out = stable_digest(v{a})",
+    "ledger.add_work(v{a})",
+    "seg{a} = SharedMemory(name='n{a}')",
+    "seg{a}.close()",
+    "for item{a} in v{b}:\n        acc += item{a}",
+    "if v{a}:\n        v{b} = sorted(v{a})",
+    "while flag{a}():\n        flag{b} = v{a}",
+    "try:\n        v{a} = risky{a}()\n    finally:\n        note{b}()",
+    "with open('f{a}') as fh{a}:\n        v{b} = fh{a}.read()",
+    "return stable_digest(sorted(v{a}))",
+]
+
+
+@st.composite
+def programs(draw) -> str:
+    count = draw(st.integers(min_value=1, max_value=8))
+    lines = ["import os", "import random", "import time", "", "def f(src0, src1, src2, ledger):", "    acc = 0.0"]
+    for _ in range(count):
+        template = draw(st.sampled_from(_STMTS))
+        a = draw(st.integers(min_value=0, max_value=2))
+        b = draw(st.integers(min_value=0, max_value=2))
+        stmt = template.format(a=a, b=b)
+        lines.append("    " + stmt)
+        if stmt.startswith("return"):
+            break
+    lines.append("    return acc")
+    return "\n".join(lines) + "\n"
+
+
+class TestGeneratedPrograms:
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    @given(programs())
+    def test_analysis_terminates_and_repeats_byte_identically(self, source):
+        first = render_json(
+            lint_sources({"gen.py": source}, engine="dataflow")
+        )
+        second = render_json(
+            lint_sources({"gen.py": source}, engine="dataflow")
+        )
+        assert first == second
+
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(programs(), programs())
+    def test_walk_order_does_not_matter(self, src_a, src_b):
+        forward = lint_sources({"a.py": src_a, "b.py": src_b}, engine="dataflow")
+        # dict insertion order reversed: results must not change,
+        # including interprocedural summary construction
+        backward = lint_sources({"b.py": src_b, "a.py": src_a}, engine="dataflow")
+        assert render_json(forward) == render_json(backward)
+
+
+class TestHashSeedIndependence:
+    def test_dataflow_json_identical_across_hash_seeds(self):
+        outputs = []
+        for seed in ("1", "31337"):
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.lint",
+                    "--engine",
+                    "dataflow",
+                    "--format",
+                    "json",
+                    str(SRC / "repro" / "lint"),
+                    str(SRC / "repro" / "batch"),
+                ],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": str(SRC), "PYTHONHASHSEED": seed},
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]

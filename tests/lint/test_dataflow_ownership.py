@@ -1,0 +1,240 @@
+"""Ownership/lifetime analysis over the CFG (REPRO601 / REPRO602).
+
+REPRO601 tracks acquire→release obligations for shared-memory segments
+and worker pools along *every* CFG path, including exception edges —
+replacing the syntactic REPRO401 pairing check.  REPRO602 flags
+fork-captured state mutated after the fork point.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def _findings(source: str, path: str = "mod.py"):
+    result = lint_source(textwrap.dedent(source), path=path, engine="dataflow")
+    return [f for f in result.active]
+
+
+def _ids(source: str, path: str = "mod.py"):
+    return [f.rule_id for f in _findings(source, path)]
+
+
+class TestSeededMutationLeak:
+    """Acceptance criterion: raise inserted before the release."""
+
+    CLEAN = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def read_block(name, check):
+            seg = SharedMemory(name=name)
+            try:
+                if not check(seg.buf):
+                    raise ValueError("bad block")
+                data = bytes(seg.buf)
+            finally:
+                seg.close()
+            return data
+        """
+
+    MUTATED = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def read_block(name, check):
+            seg = SharedMemory(name=name)
+            if not check(seg.buf):
+                raise ValueError("bad block")
+            data = bytes(seg.buf)
+            seg.close()
+            return data
+        """
+
+    def test_clean_version_is_silent(self):
+        assert _ids(self.CLEAN) == []
+
+    def test_mutation_produces_exactly_one_finding_with_leak_path(self):
+        found = _findings(self.MUTATED)
+        assert [f.rule_id for f in found] == ["REPRO601"]
+        message = found[0].message
+        assert "SharedMemory" in message
+        assert "exception path" in message
+
+
+class TestAcquireRelease:
+    def test_close_and_reraise_handler_is_clean(self):
+        assert _ids(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name, build):
+                seg = SharedMemory(name=name)
+                try:
+                    views = build(seg.buf)
+                except Exception:
+                    seg.close()
+                    raise
+                return views, seg
+            """
+        ) == []
+
+    def test_with_statement_is_clean(self):
+        assert _ids(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def peek(name, n):
+                with SharedMemory(name=name) as seg:
+                    return bytes(seg.buf[:n])
+            """
+        ) == []
+
+    def test_normal_path_leak_fires(self):
+        found = _findings(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def sizes(name):
+                seg = SharedMemory(name=name)
+                return len(seg.buf)
+            """
+        )
+        assert [f.rule_id for f in found] == ["REPRO601"]
+        assert "without close/unlink/transfer" in found[0].message
+
+    def test_transfer_to_registry_is_a_release(self):
+        # passing the handle to another function transfers ownership
+        # (the registry's atexit hook owns it now)
+        assert _ids(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def create(registry, size):
+                seg = SharedMemory(create=True, size=size)
+                registry.track(seg)
+                return seg.name
+            """
+        ) == []
+
+    def test_returning_the_handle_transfers_ownership(self):
+        assert _ids(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def open_segment(name):
+                seg = SharedMemory(name=name)
+                return seg
+            """
+        ) == []
+
+    def test_conditional_release_with_none_guard_is_clean(self):
+        # path-sensitivity on `is None` guards: the only path where the
+        # pool is unreleased is the path where it was never created
+        assert _ids(
+            """
+            from repro.batch.pool import WorkerPool
+
+            def run(jobs, payload):
+                pool = None
+                try:
+                    if jobs > 1:
+                        pool = WorkerPool(jobs, payload)
+                        pool.map(payload.items)
+                finally:
+                    if pool is not None:
+                        pool.shutdown()
+            """
+        ) == []
+
+    def test_pool_leak_on_early_return_fires(self):
+        found = _findings(
+            """
+            from repro.batch.pool import WorkerPool
+
+            def run(jobs, payload):
+                pool = WorkerPool(jobs, payload)
+                if not payload.items:
+                    return []
+                out = pool.map(payload.items)
+                pool.shutdown()
+                return out
+            """
+        )
+        assert "REPRO601" in [f.rule_id for f in found]
+
+    def test_retired_syntactic_401_replaced(self):
+        # the old REPRO401 flagged any SharedMemory() without a
+        # lexically visible close; the dataflow engine follows the
+        # actual paths instead, and never reports under the 401 id
+        src = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def mk(size):
+                seg = SharedMemory(create=True, size=size)
+                return seg
+            """
+        assert "REPRO401" not in _ids(src)
+
+    def test_repro401_waiver_alias_covers_601(self):
+        src = """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def hold(name):
+                seg = SharedMemory(name=name)  # repro-lint: allow[REPRO401] held for process lifetime
+                return len(seg.buf)
+            """
+        result = lint_source(textwrap.dedent(src), path="m.py", engine="dataflow")
+        assert [f.rule_id for f in result.active] == []
+        assert result.waived >= 1
+
+
+class TestForkSafety:
+    def test_mutation_after_fork_fires_602(self):
+        found = _findings(
+            """
+            from multiprocessing import Pool
+
+            def run(tables, items):
+                pool = Pool(4, initializer=_init, initargs=(tables,))
+                try:
+                    tables.append(extra())
+                    return pool.map(work, items)
+                finally:
+                    pool.terminate()
+            """
+        )
+        ids = [f.rule_id for f in found]
+        assert "REPRO602" in ids
+        msg = [f.message for f in found if f.rule_id == "REPRO602"][0]
+        assert "pre-fork snapshot" in msg
+
+    def test_mutation_before_fork_is_clean(self):
+        assert _ids(
+            """
+            from multiprocessing import Pool
+
+            def run(tables, items):
+                tables.append(extra())
+                pool = Pool(4, initializer=_init, initargs=(tables,))
+                try:
+                    return pool.map(work, items)
+                finally:
+                    pool.terminate()
+            """
+        ) == []
+
+    def test_read_after_fork_is_clean(self):
+        assert _ids(
+            """
+            from multiprocessing import Pool
+
+            def run(tables, items):
+                pool = Pool(4, initializer=_init, initargs=(tables,))
+                try:
+                    report(len(tables))
+                    return pool.map(work, items)
+                finally:
+                    pool.terminate()
+            """
+        ) == []

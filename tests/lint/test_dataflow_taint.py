@@ -1,0 +1,250 @@
+"""Flow-sensitive nondeterminism taint analysis (REPRO501–REPRO504).
+
+The engine only reports when tainted data *reaches a sink* — a float
+fold, a digest/cache key, an artefact emission or a deterministic
+ledger counter — and every finding carries the provenance chain.
+These tests pin both halves: taint that reaches a sink fires with the
+right chain, and taint that is sanitized or never sinks stays silent.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source, lint_sources
+
+
+def _findings(source: str, path: str = "mod.py"):
+    result = lint_source(textwrap.dedent(source), path=path, engine="dataflow")
+    return [f for f in result.active]
+
+
+def _ids(source: str, path: str = "mod.py"):
+    return [f.rule_id for f in _findings(source, path)]
+
+
+class TestSeededMutationDigest:
+    """Acceptance criterion: the unsorted-set-into-digest mutation."""
+
+    CLEAN = """
+        from repro.lint_support import stable_digest
+
+        def cache_key(flows):
+            names = {f.name for f in flows}
+            return stable_digest(sorted(names))
+        """
+
+    MUTATED = """
+        from repro.lint_support import stable_digest
+
+        def cache_key(flows):
+            names = {f.name for f in flows}
+            return stable_digest(names)
+        """
+
+    def test_clean_version_is_silent(self):
+        assert _ids(self.CLEAN) == []
+
+    def test_mutation_produces_exactly_one_finding_with_chain(self):
+        found = _findings(self.MUTATED)
+        assert [f.rule_id for f in found] == ["REPRO502"]
+        message = found[0].message
+        assert "set iteration" in message or "set-order" in message
+        assert "-> sink" in message, "diagnostic must carry the taint chain"
+
+
+class TestOrderTaint:
+    def test_set_iteration_to_float_sum_fires_501(self):
+        assert "REPRO501" in _ids(
+            """
+            def total(rates):
+                chosen = {r for r in rates if r > 0}
+                return sum(x * 1.5 for x in chosen)
+            """
+        )
+
+    def test_sorted_sanitizes_order(self):
+        # REPRO101 (syntactic float-sum) still applies; the point here
+        # is that the *order* finding is gone once the set is sorted
+        assert "REPRO501" not in _ids(
+            """
+            def total(rates):
+                chosen = {r for r in rates if r > 0}
+                return sum(x * 1.5 for x in sorted(chosen))
+            """
+        )
+
+    def test_set_order_without_sink_is_silent(self):
+        # REPRO103 flagged any unsorted iteration; the dataflow engine
+        # waits for the order to matter.
+        assert _ids(
+            """
+            def names(flows):
+                seen = {f.name for f in flows}
+                for name in seen:
+                    print(name)
+            """
+        ) == []
+
+    def test_dict_order_from_environ_to_json_fires_503(self):
+        assert "REPRO503" in _ids(
+            """
+            import json
+            import os
+
+            def snapshot(path):
+                env = dict(os.environ)
+                path.write_text(json.dumps(env))
+            """
+        )
+
+
+class TestValueTaint:
+    def test_wall_clock_to_digest_fires_502(self):
+        found = [
+            f
+            for f in _findings(
+                """
+                import time
+                from repro.lint_support import stable_digest
+
+                def stamp_key(config):
+                    now = time.time()
+                    return stable_digest((config, now))
+                """
+            )
+            if f.rule_id == "REPRO502"
+        ]
+        assert len(found) == 1
+        assert "time.time()" in found[0].message
+
+    def test_sorted_does_not_launder_wall_clock(self):
+        # sorted() erases *order* taint only — a time-derived value
+        # stays tainted through it.
+        assert "REPRO502" in _ids(
+            """
+            import time
+            from repro.lint_support import stable_digest
+
+            def stamp_key(xs):
+                vals = [time.time() for _ in xs]
+                return stable_digest(sorted(vals))
+            """
+        )
+
+    def test_rng_to_ledger_counter_fires_504(self):
+        assert "REPRO504" in _ids(
+            """
+            import random
+
+            def account(ledger):
+                jitter = random.random()
+                ledger.add_work(jitter)
+            """
+        )
+
+    def test_hash_builtin_to_digest_fires_502(self):
+        assert "REPRO502" in _ids(
+            """
+            from repro.lint_support import stable_digest
+
+            def key(obj):
+                h = hash(obj)
+                return stable_digest(h)
+            """
+        )
+
+
+class TestInterprocedural:
+    def test_taint_flows_through_helper_with_chain(self):
+        found = _findings(
+            """
+            from repro.lint_support import stable_digest
+
+            def total_rate(rates):
+                return sum(r * 1.5 for r in rates)
+
+            def fingerprint_config(net):
+                ids = {vl.rate for vl in net.vls}
+                return stable_digest(total_rate(ids))
+            """
+        )
+        ids = [f.rule_id for f in found]
+        # the helper's float fold sinks the caller's set-order taint
+        assert "REPRO501" in ids
+        chains = [f.message for f in found if f.rule_id == "REPRO501"]
+        assert any("total_rate" in c for c in chains), chains
+
+    def test_source_inside_helper_reaches_caller_sink(self):
+        found = _findings(
+            """
+            import time
+            from repro.lint_support import stable_digest
+
+            def _utc_now():
+                return time.time()
+
+            def run_key(config):
+                started = _utc_now()
+                return stable_digest((config, started))
+            """
+        )
+        found = [f for f in found if f.rule_id == "REPRO502"]
+        assert len(found) == 1
+        assert "_utc_now" in found[0].message
+
+    def test_helper_that_sorts_is_a_sanitizer(self):
+        assert _ids(
+            """
+            from repro.lint_support import stable_digest
+
+            def canonical(names):
+                return sorted(names)
+
+            def key(flows):
+                raw = {f.name for f in flows}
+                return stable_digest(canonical(raw))
+            """
+        ) == []
+
+    def test_cross_module_flow(self):
+        sources = {
+            "pkg/util.py": textwrap.dedent(
+                """
+                def total_rate(rates):
+                    return sum(r * 1.5 for r in rates)
+                """
+            ),
+            "pkg/main.py": textwrap.dedent(
+                """
+                from pkg.util import total_rate
+
+                def summarize(net):
+                    ids = {vl.rate for vl in net.vls}
+                    return total_rate(ids)
+                """
+            ),
+        }
+        result = lint_sources(sources, engine="dataflow")
+        ids = [f.rule_id for f in result.active]
+        assert "REPRO501" in ids
+
+
+class TestSupersededSyntacticRules:
+    SRC = """
+        import math
+
+        def total(names):
+            return math.fsum(weight(n) for n in set(names))
+        """
+
+    def test_syntactic_engine_keeps_repro103(self):
+        result = lint_source(textwrap.dedent(self.SRC), path="m.py")
+        assert "REPRO103" in [f.rule_id for f in result.active]
+
+    def test_dataflow_engine_retires_repro103(self):
+        ids = _ids(self.SRC)
+        assert "REPRO103" not in ids
+        # fsum is order-insensitive: no REPRO501 either — this is
+        # exactly the over-approximation the dataflow engine removes
+        assert "REPRO501" not in ids

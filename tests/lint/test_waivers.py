@@ -74,3 +74,70 @@ class TestWaiverHygiene:
         assert waivers[0].rule_ids == ("REPRO101", "REPRO103")
         assert waivers[0].reason == "two hazards here"
         assert waivers[0].line == 1
+
+
+class TestStatementSpans:
+    """A waiver covers its whole (possibly multi-line) statement.
+
+    Regression tests for the span fix: waivers used to cover only the
+    comment's own line plus the next one, so a trailing waiver on a
+    wrapped statement missed findings anchored at the statement's first
+    line.
+    """
+
+    def test_trailing_waiver_on_wrapped_statement_covers_first_line(self):
+        # the finding anchors at line 2 (`total = sum(`); the waiver
+        # sits three lines later on the closing paren
+        src = (
+            "def f(xs):\n"
+            "    total = sum(\n"
+            "        x * 1.5\n"
+            "        for x in xs\n"
+            "    )  # repro-lint: allow[REPRO101] weights are exact halves\n"
+            "    return total\n"
+        )
+        result = lint_source(src, path="s.py")
+        assert _ids(result) == []
+        assert result.waived == 1
+
+    def test_leading_waiver_covers_whole_wrapped_statement(self):
+        src = (
+            "def f(xs):\n"
+            "    # repro-lint: allow[REPRO101] weights are exact halves\n"
+            "    return sum(\n"
+            "        x * 1.5\n"
+            "        for x in xs\n"
+            "    )\n"
+        )
+        result = lint_source(src, path="s.py")
+        assert _ids(result) == []
+        assert result.waived == 1
+
+    def test_waiver_does_not_bleed_past_adjacent_line(self):
+        # a trailing waiver keeps the historical one-line lookahead but
+        # must not blanket statements further down
+        src = (
+            "def f(xs, ys):\n"
+            "    a = sum(\n"
+            "        len(x)\n"
+            "        for x in xs\n"
+            "    )  # repro-lint: allow[REPRO101] integer lengths\n"
+            "\n"
+            "    b = sum(y * 1.5 for y in ys)\n"
+            "    return a + b\n"
+        )
+        result = lint_source(src, path="s.py")
+        fired = [f for f in result.active if f.rule_id == "REPRO101"]
+        assert [f.line for f in fired] == [7]
+
+    def test_compound_header_waiver_does_not_cover_whole_suite(self):
+        # def/for/while/with spans stop at the header — a waiver there
+        # never silently blankets the body (beyond the historical
+        # one-line lookahead); hazards deeper in need their own waiver
+        src = (
+            "def f(xs):  # repro-lint: allow[REPRO101] scoped to the header\n"
+            '    """Sum with exact half weights."""\n'
+            "    return sum(x * 1.5 for x in xs)\n"
+        )
+        result = lint_source(src, path="s.py")
+        assert "REPRO101" in _ids(result)
